@@ -1,0 +1,20 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every benchmark here wraps one *simulation run*: pytest-benchmark times
+the harness (host-side seconds), while the numbers that correspond to the
+paper -- simulated microseconds, Mb/s, utilization -- are attached to
+``benchmark.extra_info`` and asserted as shape checks.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once per round under the benchmark fixture."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              iterations=1, rounds=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,83 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each test isolates one mechanism the paper motivates and checks the
+direction and rough magnitude of its effect.
+"""
+
+from repro.bench.ablations import (
+    ack_strategy_ablation,
+    rx_ring_ablation,
+    active_message_rtt,
+    checksum_ablation,
+    delivery_mode_ablation,
+    view_vs_copy_ablation,
+)
+
+
+def test_checksum_disabled_udp(benchmark):
+    """Section 1.1's motivating example: UDP without checksums is faster
+    in both latency (per-packet) and throughput (per-byte)."""
+    result = benchmark.pedantic(checksum_ablation,
+                                kwargs={"trips": 6, "total_bytes": 300_000},
+                                iterations=1, rounds=1)
+    benchmark.extra_info.update(result)
+    assert result["rtt_no_checksum_us"] < result["rtt_checksum_us"]
+    assert result["tput_no_checksum_mbps"] > result["tput_checksum_mbps"]
+    # On the PIO ATM path the checksum is a two-digit-percent tax.
+    assert result["tput_gain"] > 1.05
+
+
+def test_interrupt_vs_thread_delivery(benchmark):
+    """Leaving the interrupt context at every event raise costs latency
+    (the two Plexus bars of Figure 5)."""
+    result = benchmark.pedantic(delivery_mode_ablation,
+                                kwargs={"trips": 6}, iterations=1, rounds=1)
+    benchmark.extra_info.update(result)
+    assert result["thread_penalty_us"] > 100.0
+    # But the thread path is still far from doubling the latency.
+    assert result["thread_us"] < 2 * result["interrupt_us"]
+
+
+def test_view_vs_copy(benchmark):
+    """VIEW casts packets in place; the 'safe alternative, copying,
+    imposes unacceptable overhead' (sec. 3.2)."""
+    result = benchmark.pedantic(view_vs_copy_ablation,
+                                kwargs={"packets": 30},
+                                iterations=1, rounds=1)
+    benchmark.extra_info.update(result)
+    assert result["copy_penalty_us"] > 10.0
+    assert result["copy_us_per_packet"] > result["view_us_per_packet"]
+
+
+def test_active_messages_beat_udp(benchmark):
+    """Handlers at the Ethernet level skip IP+UDP entirely (sec. 3.3)."""
+    result = benchmark.pedantic(active_message_rtt, kwargs={"trips": 6},
+                                iterations=1, rounds=1)
+    benchmark.extra_info.update(result)
+    assert result["active_message_us"] < result["udp_us"]
+    assert result["layers_saved_us"] > 50.0
+
+
+def test_ack_strategy(benchmark):
+    """ACK policy on the PIO-limited ATM path: overly sluggish delayed
+    ACKs cost throughput; the default is at least as good."""
+    result = benchmark.pedantic(ack_strategy_ablation,
+                                kwargs={"total_bytes": 250_000},
+                                iterations=1, rounds=1)
+    benchmark.extra_info.update(result)
+    assert result["default_mbps"] >= result["sluggish_mbps"]
+    assert result["default_mbps"] > 25.0
+
+
+def test_rx_ring_sizing(benchmark):
+    """A deeper receive ring sheds less of a burst; past the burst depth
+    it stops mattering."""
+    rows = benchmark.pedantic(rx_ring_ablation, kwargs={"frames": 80},
+                              iterations=1, rounds=1)
+    by_len = {row["ring_length"]: row for row in rows}
+    benchmark.extra_info["loss_pct"] = {
+        str(k): v["loss_pct"] for k, v in by_len.items()}
+    assert by_len[2]["dropped"] > by_len[8]["dropped"] >= by_len[32]["dropped"]
+    assert by_len[64]["dropped"] == 0
+    for row in rows:
+        assert row["delivered"] + row["dropped"] == 80

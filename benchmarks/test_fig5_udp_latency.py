@@ -1,0 +1,93 @@
+"""Figure 5: UDP round-trip latency for 8-byte packets.
+
+Paper anchors (microseconds): Plexus-interrupt < 600 on Ethernet, ~350 on
+Fore ATM, ~300 on T3; 337/241 with the faster Ethernet/ATM drivers; the
+ordering raw-driver < Plexus-interrupt < Plexus-thread < DIGITAL UNIX on
+every device.
+"""
+
+import pytest
+
+from repro.bench.latency import (
+    PAPER_FIGURE5_US,
+    measure_plexus_udp_rtt,
+    measure_raw_rtt,
+    measure_unix_udp_rtt,
+)
+
+TRIPS = 8
+DEVICES = ("ethernet", "atm", "t3")
+
+
+@pytest.mark.parametrize("device", DEVICES)
+def test_plexus_interrupt_latency(benchmark, device):
+    summary = benchmark.pedantic(
+        measure_plexus_udp_rtt, args=(device, "interrupt"),
+        kwargs={"trips": TRIPS}, iterations=1, rounds=1)
+    benchmark.extra_info["rtt_us"] = summary.mean
+    paper = PAPER_FIGURE5_US[(device, "plexus-interrupt")]
+    benchmark.extra_info["paper_us"] = paper
+    # Within 15% of the paper's stated value.
+    assert abs(summary.mean - paper) / paper < 0.15
+
+
+@pytest.mark.parametrize("device", DEVICES)
+def test_plexus_thread_latency(benchmark, device):
+    summary = benchmark.pedantic(
+        measure_plexus_udp_rtt, args=(device, "thread"),
+        kwargs={"trips": TRIPS}, iterations=1, rounds=1)
+    benchmark.extra_info["rtt_us"] = summary.mean
+    interrupt = measure_plexus_udp_rtt(device, "interrupt", trips=TRIPS)
+    # Thread-per-event delivery costs real latency, but far less than a
+    # full second system would.
+    assert summary.mean > interrupt.mean
+
+
+@pytest.mark.parametrize("device", DEVICES)
+def test_unix_latency_substantially_slower(benchmark, device):
+    summary = benchmark.pedantic(
+        measure_unix_udp_rtt, args=(device,), kwargs={"trips": TRIPS},
+        iterations=1, rounds=1)
+    benchmark.extra_info["rtt_us"] = summary.mean
+    plexus = measure_plexus_udp_rtt(device, "interrupt", trips=TRIPS)
+    thread = measure_plexus_udp_rtt(device, "thread", trips=TRIPS)
+    # The paper's ordering: DUX slower than both Plexus configurations,
+    # and "substantially" slower than the interrupt path (>= 1.5x here).
+    assert summary.mean > thread.mean > plexus.mean
+    assert summary.mean / plexus.mean > 1.5
+
+
+@pytest.mark.parametrize("device", DEVICES)
+def test_raw_driver_floor(benchmark, device):
+    summary = benchmark.pedantic(
+        measure_raw_rtt, args=(device,), kwargs={"trips": TRIPS},
+        iterations=1, rounds=1)
+    benchmark.extra_info["rtt_us"] = summary.mean
+    plexus = measure_plexus_udp_rtt(device, "interrupt", trips=TRIPS)
+    # The hardware floor sits below the full protocol path, and protocol
+    # processing adds only a modest fraction on top of it.
+    assert summary.mean < plexus.mean
+    assert (plexus.mean - summary.mean) / plexus.mean < 0.35
+
+
+@pytest.mark.parametrize("device,paper_key", [
+    ("ethernet", ("ethernet-fast", "plexus-interrupt")),
+    ("atm", ("atm-fast", "plexus-interrupt")),
+])
+def test_fast_driver_latency(benchmark, device, paper_key):
+    summary = benchmark.pedantic(
+        measure_plexus_udp_rtt, args=(device, "interrupt"),
+        kwargs={"trips": TRIPS, "fast_driver": True}, iterations=1, rounds=1)
+    benchmark.extra_info["rtt_us"] = summary.mean
+    paper = PAPER_FIGURE5_US[paper_key]
+    benchmark.extra_info["paper_us"] = paper
+    assert abs(summary.mean - paper) / paper < 0.15
+
+
+def test_device_ordering(benchmark):
+    """Across devices: Ethernet slowest, T3 fastest (wire + driver)."""
+    def run():
+        return {device: measure_plexus_udp_rtt(device, trips=4).mean
+                for device in DEVICES}
+    rtts = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert rtts["ethernet"] > rtts["atm"] > rtts["t3"]

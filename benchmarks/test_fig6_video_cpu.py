@@ -1,0 +1,85 @@
+"""Figure 6: video server CPU utilization vs number of streams (T3).
+
+Paper anchors: 3 Mb/s per stream, the 45 Mb/s T3 saturates at 15
+streams; at saturation SPIN uses about *half* the CPU of DIGITAL UNIX;
+below saturation the utilization curves grow linearly with offered load.
+
+Section 5.1 client: both systems show similar client CPU because >90% of
+the client's work is framebuffer writes.
+"""
+
+import pytest
+
+from repro.bench.video import (
+    SATURATION_STREAMS,
+    measure_video_client,
+    measure_video_server,
+)
+
+DURATION = 0.4
+
+
+def test_spin_half_the_cpu_at_saturation(benchmark):
+    def run():
+        return (measure_video_server("spin", SATURATION_STREAMS, DURATION),
+                measure_video_server("unix", SATURATION_STREAMS, DURATION))
+    spin, unix = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["spin_util"] = spin["utilization"]
+    benchmark.extra_info["unix_util"] = unix["utilization"]
+    ratio = unix["utilization"] / spin["utilization"]
+    benchmark.extra_info["unix_over_spin"] = ratio
+    # "SPIN consumes only half as much of the processor."
+    assert 1.7 < ratio < 2.5
+    # Both keep up with the deadline load at saturation.
+    assert spin["deadline_misses"] == 0
+
+
+def test_network_saturates_at_fifteen_streams(benchmark):
+    def run():
+        return (measure_video_server("spin", SATURATION_STREAMS, DURATION),
+                measure_video_server("spin", SATURATION_STREAMS + 6, DURATION))
+    at_sat, beyond = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["delivered_at_15"] = at_sat["delivered_mbps"]
+    benchmark.extra_info["delivered_at_21"] = beyond["delivered_mbps"]
+    # 15 streams fill the 45 Mb/s T3; offering more does not deliver more.
+    assert at_sat["delivered_mbps"] > 42.0
+    assert beyond["delivered_mbps"] <= at_sat["delivered_mbps"] * 1.02
+
+
+@pytest.mark.parametrize("streams", [1, 5, 10])
+def test_utilization_grows_linearly_below_saturation(benchmark, streams):
+    result = benchmark.pedantic(measure_video_server,
+                                args=("spin", streams, DURATION),
+                                iterations=1, rounds=1)
+    benchmark.extra_info["utilization"] = result["utilization"]
+    one = measure_video_server("spin", 1, DURATION)
+    # Linear in stream count within 25%.
+    expected = one["utilization"] * streams
+    assert abs(result["utilization"] - expected) / expected < 0.25
+
+
+def test_unix_hits_cpu_wall_before_spin(benchmark):
+    """Past saturation the monolithic server runs out of processor."""
+    def run():
+        return (measure_video_server("spin", 30, DURATION),
+                measure_video_server("unix", 30, DURATION))
+    spin, unix = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert unix["utilization"] > 0.97
+    assert spin["utilization"] < 0.92
+
+
+def test_video_client_framebuffer_bound(benchmark):
+    """Section 5.1: client CPU similar on both systems; display dominates."""
+    def run():
+        return (measure_video_client("spin", DURATION),
+                measure_video_client("unix", DURATION))
+    spin, unix = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["spin_util"] = spin["utilization"]
+    benchmark.extra_info["unix_util"] = unix["utilization"]
+    benchmark.extra_info["display_fraction"] = spin["display_fraction"]
+    # Both spend >90% of app work writing the framebuffer...
+    assert spin["display_fraction"] > 0.9
+    assert unix["display_fraction"] > 0.9
+    # ...which makes the two systems' utilization similar (within 20%).
+    assert abs(spin["utilization"] - unix["utilization"]) / \
+        unix["utilization"] < 0.2

@@ -1,0 +1,50 @@
+"""Figure 7: TCP redirection latency, Plexus vs DIGITAL UNIX splice.
+
+Paper anchors: the user-level forwarder sends each packet through the
+protocol stack twice with two boundary copies, so its latency is a large
+multiple of the in-kernel redirect's; and it "is unable to respect
+end-to-end TCP semantics" while the Plexus node preserves them.
+"""
+
+from repro.bench.forwarding import (
+    measure_plexus_forwarding,
+    measure_unix_forwarding,
+)
+
+TRIPS = 10
+
+
+def test_plexus_redirect_latency(benchmark):
+    result = benchmark.pedantic(measure_plexus_forwarding,
+                                kwargs={"trips": TRIPS},
+                                iterations=1, rounds=1)
+    benchmark.extra_info["rtt_us"] = result["rtt"].mean
+    benchmark.extra_info["connect_us"] = result["connect_us"]
+    # Every request was forwarded by the in-kernel node.
+    assert result["forwarded_packets"] > 0
+    # End-to-end: the backend terminates the client's TCP connection.
+    assert result["end_to_end"]
+
+
+def test_unix_splice_latency(benchmark):
+    result = benchmark.pedantic(measure_unix_forwarding,
+                                kwargs={"trips": TRIPS},
+                                iterations=1, rounds=1)
+    benchmark.extra_info["rtt_us"] = result["rtt"].mean
+    assert result["forwarded_bytes"] > 0
+    # The client's connection terminates at the splice, not the backend.
+    assert not result["end_to_end"]
+
+
+def test_plexus_forwarding_beats_splice(benchmark):
+    def run():
+        return (measure_plexus_forwarding(trips=TRIPS),
+                measure_unix_forwarding(trips=TRIPS))
+    plexus, unix = benchmark.pedantic(run, iterations=1, rounds=1)
+    ratio = unix["rtt"].mean / plexus["rtt"].mean
+    benchmark.extra_info["plexus_rtt_us"] = plexus["rtt"].mean
+    benchmark.extra_info["unix_rtt_us"] = unix["rtt"].mean
+    benchmark.extra_info["unix_over_plexus"] = ratio
+    # Two extra stack trips + two boundary copies + scheduling: the
+    # splice costs a large multiple of the in-kernel redirect.
+    assert ratio > 1.8

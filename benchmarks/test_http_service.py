@@ -1,0 +1,52 @@
+"""HTTP service latency: the paper's closing demo, plus the CPU-scaling
+sensitivity sweep.
+
+Not a numbered figure in the paper, but the demo the conclusion points
+at; asserted shape: the in-kernel server wins clearly on small pages
+(per-request overhead dominated) and the gap closes on large pages
+(wire-dominated, like the Ethernet row of section 4.2).
+"""
+
+from repro.bench.http_bench import (
+    cpu_scaling_sweep,
+    http_comparison,
+    measure_spin_http,
+    measure_unix_http,
+)
+
+
+def test_small_page_kernel_server_wins(benchmark):
+    def run():
+        return (measure_spin_http("/", requests=6),
+                measure_unix_http("/", requests=6))
+    spin, unix = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["plexus_us"] = spin.mean
+    benchmark.extra_info["unix_us"] = unix.mean
+    # Per-request boundary costs dominate a 512-byte page.
+    assert unix.mean / spin.mean > 1.5
+
+
+def test_large_page_wire_dominates(benchmark):
+    def run():
+        return (measure_spin_http("/big", requests=4),
+                measure_unix_http("/big", requests=4))
+    spin, unix = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["plexus_us"] = spin.mean
+    benchmark.extra_info["unix_us"] = unix.mean
+    # 16 KB at 10 Mb/s is wire time; OS structure fades (within 20%).
+    assert unix.mean / spin.mean < 1.2
+
+
+def test_gap_scales_with_cpu_speed(benchmark):
+    """The Plexus advantage is CPU-structural: halving CPU speed doubles
+    the absolute gap, and a faster CPU shrinks it."""
+    rows = benchmark.pedantic(cpu_scaling_sweep, kwargs={"trips": 4},
+                              iterations=1, rounds=1)
+    by_factor = {row["cpu_factor"]: row for row in rows}
+    benchmark.extra_info["gaps"] = {
+        str(k): v["gap_us"] for k, v in by_factor.items()}
+    assert by_factor[2.0]["gap_us"] > by_factor[1.0]["gap_us"] > \
+        by_factor[0.5]["gap_us"]
+    # The gap is almost exactly proportional to CPU cost.
+    ratio = by_factor[2.0]["gap_us"] / by_factor[1.0]["gap_us"]
+    assert 1.8 < ratio < 2.2

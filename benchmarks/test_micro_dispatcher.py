@@ -1,0 +1,41 @@
+"""Microbenchmarks of the SPIN machinery (paper section 2).
+
+Anchor: "the overhead of invoking each handler is roughly one procedure
+call" -- here within a small constant multiple of the calibrated
+procedure-call cost.
+"""
+
+from repro.bench.micro import (
+    dispatcher_overhead_per_handler,
+    extension_install_cost,
+    guard_demux_cost,
+)
+
+
+def test_dispatch_is_about_one_procedure_call(benchmark):
+    result = benchmark.pedantic(dispatcher_overhead_per_handler,
+                                iterations=1, rounds=1)
+    benchmark.extra_info.update(result)
+    # "Roughly one procedure call": within 1x-3x.
+    assert 1.0 <= result["ratio_to_procedure_call"] <= 3.0
+
+
+def test_guard_demux_scales_linearly(benchmark):
+    rows = benchmark.pedantic(guard_demux_cost, iterations=1, rounds=1)
+    by_count = {row["extensions"]: row["demux_us"] for row in rows}
+    benchmark.extra_info["demux_us"] = by_count
+    # Linear decision-tree demux: 64 guards cost ~16x the 4-guard case,
+    # and even 64 installed extensions demux in under 20 microseconds.
+    assert by_count[64] < 20.0
+    assert 8.0 < by_count[64] / by_count[4] < 24.0
+
+
+def test_runtime_install_is_cheap(benchmark):
+    result = benchmark.pedantic(extension_install_cost,
+                                iterations=1, rounds=1)
+    benchmark.extra_info.update(result)
+    # Installing + removing an endpoint in a *running* kernel costs
+    # microseconds, not a reboot.
+    assert result["per_pair_us"] < 50.0
+    # And the graph returns to its pre-install shape.
+    assert result["edges_after"] == 6

@@ -1,0 +1,92 @@
+"""Section 4.2: TCP throughput.
+
+Paper anchors: Ethernet 8.9 Mb/s on both systems (wire-limited); ATM
+27.9 Mb/s DIGITAL UNIX vs 33 Mb/s Plexus (PIO/CPU-limited); raw ATM
+driver-to-driver ~53 Mb/s; T3 TCP unmeasured in the paper (SPIN DMA bug)
+-- reproduced as UDP throughput on both systems instead.
+"""
+
+import pytest
+
+from repro.bench.throughput import (
+    PAPER_SECTION42_MBPS,
+    measure_plexus_tcp_throughput,
+    measure_raw_throughput,
+    measure_udp_throughput,
+    measure_unix_tcp_throughput,
+)
+
+BYTES = 400_000
+
+
+def test_ethernet_wire_limited(benchmark):
+    """Both systems hit the same wire-limited rate on 10 Mb/s Ethernet."""
+    def run():
+        return (measure_plexus_tcp_throughput("ethernet", 150_000),
+                measure_unix_tcp_throughput("ethernet", 150_000))
+    plexus, unix = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["plexus_mbps"] = plexus
+    benchmark.extra_info["unix_mbps"] = unix
+    paper = PAPER_SECTION42_MBPS[("ethernet", "plexus")]
+    assert abs(plexus - paper) / paper < 0.1
+    assert abs(unix - paper) / paper < 0.1
+    # Near-identical: throughput is "much less sensitive to operating
+    # system and application overheads than latency".
+    assert abs(plexus - unix) / plexus < 0.05
+
+
+def test_atm_plexus_throughput(benchmark):
+    mbps = benchmark.pedantic(measure_plexus_tcp_throughput, args=("atm", BYTES),
+                              iterations=1, rounds=1)
+    benchmark.extra_info["mbps"] = mbps
+    paper = PAPER_SECTION42_MBPS[("atm", "plexus")]
+    benchmark.extra_info["paper_mbps"] = paper
+    assert abs(mbps - paper) / paper < 0.1
+
+
+def test_atm_unix_throughput(benchmark):
+    mbps = benchmark.pedantic(measure_unix_tcp_throughput, args=("atm", BYTES),
+                              iterations=1, rounds=1)
+    benchmark.extra_info["mbps"] = mbps
+    paper = PAPER_SECTION42_MBPS[("atm", "unix")]
+    benchmark.extra_info["paper_mbps"] = paper
+    assert abs(mbps - paper) / paper < 0.1
+
+
+def test_atm_plexus_beats_unix(benchmark):
+    """The boundary copies cost DIGITAL UNIX real bandwidth on PIO ATM."""
+    def run():
+        return (measure_plexus_tcp_throughput("atm", BYTES),
+                measure_unix_tcp_throughput("atm", BYTES))
+    plexus, unix = benchmark.pedantic(run, iterations=1, rounds=1)
+    assert plexus > unix
+    # Paper ratio: 33 / 27.9 = 1.18.
+    assert 1.05 < plexus / unix < 1.4
+
+
+def test_atm_raw_driver_ceiling(benchmark):
+    """Driver-to-driver PIO tops out around 53 Mb/s, above both TCPs."""
+    raw = benchmark.pedantic(measure_raw_throughput, args=("atm",),
+                             iterations=1, rounds=1)
+    benchmark.extra_info["mbps"] = raw
+    paper = PAPER_SECTION42_MBPS[("atm", "raw-driver")]
+    assert abs(raw - paper) / paper < 0.1
+    plexus = measure_plexus_tcp_throughput("atm", BYTES)
+    assert raw > plexus
+
+
+def test_t3_udp_substitute(benchmark):
+    """T3 TCP was unmeasurable in the paper; UDP on both systems instead.
+
+    The T3 is DMA-based, so both systems approach the 45 Mb/s wire and
+    Plexus is at least as fast as the monolithic system.
+    """
+    def run():
+        return (measure_udp_throughput("spin", "t3", BYTES),
+                measure_udp_throughput("unix", "t3", BYTES))
+    plexus, unix = benchmark.pedantic(run, iterations=1, rounds=1)
+    benchmark.extra_info["plexus_mbps"] = plexus
+    benchmark.extra_info["unix_mbps"] = unix
+    assert plexus >= unix * 0.98
+    assert plexus <= 46.0  # bounded by the 45 Mb/s wire (+measurement slack)
+    assert plexus > 30.0  # the DMA device leaves CPU to spare

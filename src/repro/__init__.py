@@ -1,0 +1,42 @@
+"""Plexus: an extensible protocol architecture for application-specific
+networking -- a full reproduction of Fiuczynski & Bershad (USENIX 1996).
+
+The package layers, bottom to top:
+
+* :mod:`repro.sim` -- discrete-event simulation kernel.
+* :mod:`repro.lang` -- the Modula-3 safety model (VIEW, READONLY,
+  EPHEMERAL).
+* :mod:`repro.hw` -- simulated hardware: Alpha-calibrated CPUs, Ethernet /
+  Fore ATM / DEC T3 adapters, wires, disks, framebuffers.
+* :mod:`repro.spin` -- the SPIN kernel substrate: protection domains,
+  dynamic linker, event dispatcher, mbufs.
+* :mod:`repro.net` -- the shared protocol implementations: Ethernet, ARP,
+  IP, ICMP, UDP, TCP, HTTP.
+* :mod:`repro.core` -- **Plexus itself**: the protocol graph, guards,
+  protocol managers, application extensions.
+* :mod:`repro.unixos` -- the monolithic DIGITAL UNIX-style baseline.
+* :mod:`repro.apps` -- the paper's applications: video, forwarding,
+  active messages, HTTP.
+* :mod:`repro.bench` -- the harness regenerating every table and figure.
+
+Quickstart::
+
+    from repro.bench import build_testbed
+    from repro.core import Credential
+    from repro.lang import ephemeral
+
+    bed = build_testbed("spin", "ethernet")        # two SPIN hosts
+    stack = bed.stacks[0]
+
+    @ephemeral
+    def handler(m, off, src_ip, src_port, dst_ip, dst_port):
+        ...                                        # runs in the kernel
+
+    endpoint = stack.udp_manager.bind(Credential("me"), 7777, handler)
+    # endpoint.send(b"payload", bed.ip(1), 7777) from a kernel path
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["sim", "lang", "hw", "spin", "net", "core", "unixos", "apps",
+           "bench", "__version__"]

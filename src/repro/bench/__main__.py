@@ -1,0 +1,48 @@
+"""Command-line entry: regenerate every paper experiment.
+
+Usage::
+
+    python -m repro.bench             # quick pass (small trip counts)
+    python -m repro.bench --full      # the numbers EXPERIMENTS.md records
+    python -m repro.bench --charts    # ASCII renderings of figures 5-7
+    python -m repro.bench --check     # golden-number regression check
+"""
+
+import sys
+
+from .report import run_everything
+
+
+def _charts() -> str:
+    from . import forwarding, latency, video
+    from .figures import render_figure5, render_figure6, render_figure7
+    sections = [
+        render_figure5(latency.figure5(trips=5)),
+        render_figure6(video.figure6(stream_counts=(1, 5, 10, 15, 20, 25),
+                                     duration_s=0.3)),
+        render_figure7(forwarding.figure7(trips=5)),
+    ]
+    return "\n\n".join(sections)
+
+
+def main(argv) -> int:
+    if "--charts" in argv:
+        print(_charts())
+        return 0
+    if "--check" in argv:
+        from .regression import check_all
+        from .report import format_table
+        rows = check_all()
+        print(format_table(rows, ["metric", "expected", "measured",
+                                  "deviation", "tolerance", "ok"],
+                           title="Golden-number regression check"))
+        return 0 if all(row["ok"] for row in rows) else 1
+    quick = "--full" not in argv
+    print("Regenerating every table and figure from the paper "
+          "(%s pass)...\n" % ("quick" if quick else "full"))
+    print(run_everything(quick=quick))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

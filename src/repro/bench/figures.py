@@ -1,0 +1,99 @@
+"""ASCII renderings of the paper's figures.
+
+The paper presents Figures 5-7 graphically; these helpers render the
+measured data the same way (bar charts for Figure 5/7, a curve chart for
+Figure 6) so `python -m repro.bench --charts` reads like the evaluation
+section.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["bar_chart", "curve_chart", "render_figure5", "render_figure6",
+           "render_figure7"]
+
+
+def bar_chart(rows: Sequence[Dict], label_key: str, value_key: str,
+              title: str = "", width: int = 50,
+              unit: str = "") -> str:
+    """Horizontal bar chart from dict rows."""
+    values = [row[value_key] for row in rows]
+    if not values:
+        return title
+    peak = max(values) or 1.0
+    label_width = max(len(str(row[label_key])) for row in rows)
+    lines = [title] if title else []
+    for row in rows:
+        value = row[value_key]
+        bar = "#" * max(1, int(round(value / peak * width)))
+        lines.append("  %-*s  %-*s %8.1f %s"
+                     % (label_width, row[label_key], width, bar, value, unit))
+    return "\n".join(lines)
+
+
+def curve_chart(series: Dict[str, List], x_values: List, title: str = "",
+                height: int = 12, y_label: str = "",
+                markers: str = "*o+x") -> str:
+    """Plot one or more named series against shared x values."""
+    all_y = [y for ys in series.values() for y in ys]
+    if not all_y:
+        return title
+    peak = max(all_y) or 1.0
+    grid = [[" "] * len(x_values) for _ in range(height)]
+    legend = []
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append("%s = %s" % (marker, name))
+        for column, y in enumerate(ys):
+            row = min(height - 1, int(round(y / peak * (height - 1))))
+            grid[height - 1 - row][column] = marker
+    lines = [title] if title else []
+    lines.append("  %s (peak %.1f)" % (", ".join(legend), peak))
+    for row_index, row in enumerate(grid):
+        edge = "%5.0f |" % (peak * (height - 1 - row_index) / (height - 1))
+        lines.append(edge + "  ".join(row))
+    lines.append("      +" + "-" * (3 * len(x_values) - 2))
+    lines.append("       " + "  ".join("%-1s" % str(x)[-1] for x in x_values))
+    lines.append("       x = %s" % ", ".join(str(x) for x in x_values))
+    if y_label:
+        lines.append("       y = %s" % y_label)
+    return "\n".join(lines)
+
+
+def render_figure5(rows: Sequence[Dict]) -> str:
+    """Figure 5 as grouped bars (one group per device)."""
+    sections = []
+    devices = []
+    for row in rows:
+        if row["device"] not in devices:
+            devices.append(row["device"])
+    for device in devices:
+        group = [dict(label=row["system"], rtt=row["rtt_us"])
+                 for row in rows if row["device"] == device]
+        sections.append(bar_chart(group, "label", "rtt",
+                                  title="%s:" % device, unit="us"))
+    return ("Figure 5: UDP round-trip time, 8-byte packets\n"
+            + "\n".join(sections))
+
+
+def render_figure6(rows: Sequence[Dict]) -> str:
+    """Figure 6 as utilization curves vs streams."""
+    streams = sorted({row["streams"] for row in rows})
+    series: Dict[str, List] = {}
+    for os_name in ("spin", "unix"):
+        by_count = {row["streams"]: row["utilization"] * 100
+                    for row in rows if row["os"] == os_name}
+        series[os_name.upper()] = [by_count.get(n, 0.0) for n in streams]
+    return curve_chart(series, streams,
+                       title="Figure 6: video server CPU vs streams (T3)",
+                       y_label="CPU utilization (%)")
+
+
+def render_figure7(rows: Sequence[Dict]) -> str:
+    group = [dict(label=row["system"],
+                  rtt=row["rtt"].mean if hasattr(row["rtt"], "mean")
+                  else row["rtt"])
+             for row in rows]
+    return bar_chart(group, "label", "rtt",
+                     title="Figure 7: TCP redirection latency", unit="us")

@@ -1,0 +1,182 @@
+"""Figure 5: UDP round-trip latency for small packets.
+
+"Figure 5 shows the round-trip latency for small (8 byte) UDP/IP messages
+between a pair of application-specific functions on SPIN/Plexus and
+DIGITAL UNIX on Ethernet, the Fore ATM interface, and the DEC T3
+interfaces" -- plus the hardware floor ("the minimal round trip time using
+our hardware as measured between the device drivers") and the
+faster-driver variant of section 4.1 (337 us Ethernet / 241 us ATM).
+
+Four measurement functions, one per bar family:
+
+* :func:`measure_plexus_udp_rtt` -- ``deliver_mode`` selects the
+  *interrupt* or *thread* bar,
+* :func:`measure_unix_udp_rtt` -- the DIGITAL UNIX bar,
+* :func:`measure_raw_rtt` -- the driver-to-driver floor,
+* :func:`figure5` -- the whole figure as a list of rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..lang.ephemeral import ephemeral
+from ..core.manager import Credential
+from ..sim import Signal
+from .stats import Summary, summarize
+from .testbed import build_raw_pair, build_testbed
+
+__all__ = [
+    "measure_plexus_udp_rtt",
+    "measure_unix_udp_rtt",
+    "measure_raw_rtt",
+    "figure5",
+    "PAPER_FIGURE5_US",
+]
+
+#: The round-trip latencies the paper reports or implies (microseconds).
+#: Only the values the text states explicitly are filled in; the rest of
+#: the figure is read qualitatively (orderings) in EXPERIMENTS.md.
+PAPER_FIGURE5_US = {
+    ("ethernet", "plexus-interrupt"): 565.0,   # "less than 600 usecs"
+    ("atm", "plexus-interrupt"): 350.0,
+    ("t3", "plexus-interrupt"): 300.0,
+    ("ethernet-fast", "plexus-interrupt"): 337.0,
+    ("atm-fast", "plexus-interrupt"): 241.0,
+}
+
+_PING_PORT = 7001
+_PONG_PORT = 7002
+
+
+def measure_plexus_udp_rtt(device: str, deliver_mode: str = "interrupt",
+                           fast_driver: bool = False, trips: int = 20,
+                           payload_len: int = 8,
+                           checksum: bool = True) -> Summary:
+    """UDP ping-pong between two in-kernel Plexus extensions."""
+    bed = build_testbed("spin", device, deliver_mode=deliver_mode,
+                        fast_driver=fast_driver)
+    engine = bed.engine
+    client_stack, server_stack = bed.stacks
+    client_host, server_host = bed.hosts
+    handler_mode = "inline" if deliver_mode == "interrupt" else "thread"
+
+    reply_seen = Signal(engine)
+    server_ep = None
+
+    @ephemeral
+    def server_handler(m, off, src_ip, src_port, dst_ip, dst_port):
+        payload = bytes(m.to_bytes()[off:])
+        server_ep.send(payload, src_ip, src_port)
+
+    @ephemeral
+    def client_handler(m, off, src_ip, src_port, dst_ip, dst_port):
+        client_host.defer(reply_seen.fire)
+
+    server_ep = server_stack.udp_manager.bind(
+        Credential("pong"), _PONG_PORT, server_handler, mode=handler_mode,
+        checksum=checksum)
+    client_ep = client_stack.udp_manager.bind(
+        Credential("ping"), _PING_PORT, client_handler, mode=handler_mode,
+        checksum=checksum)
+
+    samples: List[float] = []
+    payload = bytes(payload_len)
+
+    def ping_loop():
+        for _ in range(trips):
+            start = engine.now
+            waiter = reply_seen.wait()
+            yield from client_host.kernel_path(
+                lambda: client_ep.send(payload, bed.ip(1), _PONG_PORT))
+            yield waiter
+            samples.append(engine.now - start)
+
+    engine.run_process(ping_loop(), name="ping")
+    return summarize(samples)
+
+
+def measure_unix_udp_rtt(device: str, fast_driver: bool = False,
+                         trips: int = 20, payload_len: int = 8,
+                         checksum: bool = True) -> Summary:
+    """UDP ping-pong between two user-level socket applications."""
+    bed = build_testbed("unix", device, fast_driver=fast_driver)
+    engine = bed.engine
+    client_sockets, server_sockets = bed.sockets
+    samples: List[float] = []
+    payload = bytes(payload_len)
+
+    def server_proc():
+        sock = server_sockets.udp_socket()
+        yield from sock.bind(_PONG_PORT)
+        for _ in range(trips):
+            data, addr = yield from sock.recvfrom()
+            yield from sock.sendto(data, addr, checksum=checksum)
+
+    def client_proc():
+        sock = client_sockets.udp_socket()
+        yield from sock.bind(_PING_PORT)
+        for _ in range(trips):
+            start = engine.now
+            yield from sock.sendto(payload, (bed.ip(1), _PONG_PORT),
+                                   checksum=checksum)
+            yield from sock.recvfrom()
+            samples.append(engine.now - start)
+
+    engine.process(server_proc(), name="udp-server")
+    engine.run_process(client_proc(), name="udp-client")
+    return summarize(samples)
+
+
+def measure_raw_rtt(device: str, fast_driver: bool = False, trips: int = 20,
+                    frame_len: int = 50) -> Summary:
+    """The hardware floor: ping-pong directly between device drivers."""
+    engine, initiator, responder, nic_a, nic_b = build_raw_pair(
+        device, fast_driver=fast_driver)
+    reply_seen = Signal(engine)
+    initiator.on_frame = lambda data: initiator.defer(reply_seen.fire)
+    samples: List[float] = []
+    frame = bytes(frame_len)
+
+    def ping_loop():
+        for _ in range(trips):
+            start = engine.now
+            waiter = reply_seen.wait()
+            yield from initiator.kernel_path(
+                lambda: nic_a.stage_tx(frame, nic_b.address))
+            yield waiter
+            samples.append(engine.now - start)
+
+    engine.run_process(ping_loop(), name="raw-ping")
+    return summarize(samples)
+
+
+def figure5(trips: int = 20, devices=("ethernet", "atm", "t3")) -> List[Dict]:
+    """Regenerate the whole figure: one row per (device, system) bar."""
+    rows: List[Dict] = []
+    for device in devices:
+        raw = measure_raw_rtt(device, trips=trips)
+        interrupt = measure_plexus_udp_rtt(device, "interrupt", trips=trips)
+        thread = measure_plexus_udp_rtt(device, "thread", trips=trips)
+        unix = measure_unix_udp_rtt(device, trips=trips)
+        for system, summary in (("raw-driver", raw),
+                                ("plexus-interrupt", interrupt),
+                                ("plexus-thread", thread),
+                                ("digital-unix", unix)):
+            rows.append({
+                "device": device,
+                "system": system,
+                "rtt_us": summary.mean,
+                "paper_us": PAPER_FIGURE5_US.get((device, system)),
+            })
+        if device in ("ethernet", "atm"):
+            fast = measure_plexus_udp_rtt(device, "interrupt",
+                                          fast_driver=True, trips=trips)
+            rows.append({
+                "device": device + "-fast",
+                "system": "plexus-interrupt",
+                "rtt_us": fast.mean,
+                "paper_us": PAPER_FIGURE5_US.get(
+                    (device + "-fast", "plexus-interrupt")),
+            })
+    return rows

@@ -1,0 +1,125 @@
+"""Result formatting for the benchmark harness.
+
+``format_table`` renders rows the way the paper's tables/figures read;
+``run_everything`` regenerates every experiment and returns the full
+report text (EXPERIMENTS.md is produced from it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+__all__ = ["format_table", "run_everything"]
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str],
+                 title: str = "") -> str:
+    """Render dict rows as an aligned text table."""
+    widths = {col: len(col) for col in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col)
+            if isinstance(value, float):
+                text = "%.1f" % value
+            elif value is None:
+                text = "-"
+            else:
+                text = str(value)
+            widths[col] = max(widths[col], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in rendered:
+        lines.append("  ".join(cell.ljust(widths[col])
+                               for cell, col in zip(cells, columns)))
+    return "\n".join(lines)
+
+
+def run_everything(quick: bool = True) -> str:
+    """Regenerate every table and figure; returns the report text."""
+    from . import ablations, forwarding, latency, micro, throughput, video
+
+    trips = 5 if quick else 20
+    sections: List[str] = []
+
+    rows = latency.figure5(trips=trips)
+    sections.append(format_table(
+        rows, ["device", "system", "rtt_us", "paper_us"],
+        title="Figure 5: UDP round-trip latency (8-byte payloads)"))
+
+    rows = throughput.section42(total_bytes=300_000 if quick else 1_000_000)
+    sections.append(format_table(
+        rows, ["device", "system", "mbps", "paper_mbps"],
+        title="Section 4.2: TCP throughput"))
+
+    counts = (1, 5, 10, 15, 20) if quick else (1, 3, 5, 8, 10, 12, 15, 18, 21, 25, 30)
+    rows = video.figure6(stream_counts=counts,
+                         duration_s=0.3 if quick else 0.6)
+    for row in rows:
+        row["utilization_pct"] = row["utilization"] * 100
+    sections.append(format_table(
+        rows, ["os", "streams", "utilization_pct", "delivered_mbps"],
+        title="Figure 6: video server CPU utilization vs streams (T3)"))
+
+    client_rows = [video.measure_video_client(os_name, 0.3 if quick else 0.8)
+                   for os_name in ("spin", "unix")]
+    for row in client_rows:
+        row["utilization_pct"] = row["utilization"] * 100
+        row["display_pct"] = row["display_fraction"] * 100
+    sections.append(format_table(
+        client_rows, ["os", "utilization_pct", "display_pct"],
+        title="Section 5.1: video client (framebuffer-dominated)"))
+
+    fwd_rows = forwarding.figure7(trips=trips)
+    for row in fwd_rows:
+        row["rtt_us"] = row["rtt"].mean
+    sections.append(format_table(
+        fwd_rows, ["system", "rtt_us", "connect_us", "end_to_end"],
+        title="Figure 7: TCP redirection latency"))
+
+    disp = micro.dispatcher_overhead_per_handler()
+    sections.append(format_table(
+        [disp], ["per_handler_us", "procedure_call_us",
+                 "ratio_to_procedure_call"],
+        title="Micro: dispatcher overhead (paper: ~1 procedure call)"))
+
+    sections.append(format_table(
+        micro.guard_demux_cost(), ["extensions", "demux_us"],
+        title="Micro: guard demultiplexing scaling"))
+
+    from . import http_bench
+    http_rows = http_bench.http_comparison(requests=4 if quick else 10)
+    sections.append(format_table(
+        http_rows, ["page", "system", "latency_us"],
+        title="HTTP service latency (the paper's closing demo)"))
+
+    scaling = http_bench.cpu_scaling_sweep(trips=trips)
+    sections.append(format_table(
+        scaling, ["cpu_factor", "plexus_us", "unix_us", "gap_us"],
+        title="Sensitivity: Figure 5 Ethernet headline vs CPU speed"))
+
+    abl = [
+        {"ablation": "udp-checksum", **ablations.checksum_ablation(trips=trips)},
+        {"ablation": "delivery-mode", **ablations.delivery_mode_ablation(trips=trips)},
+        {"ablation": "view-vs-copy", **ablations.view_vs_copy_ablation()},
+        {"ablation": "active-messages", **ablations.active_message_rtt(trips=trips)},
+        {"ablation": "ack-strategy", **ablations.ack_strategy_ablation(
+            total_bytes=200_000 if quick else 400_000)},
+    ]
+    for row in abl:
+        sections.append(format_table(
+            [row], list(row.keys()), title="Ablation: %s" % row["ablation"]))
+
+    sections.append(format_table(
+        ablations.rx_ring_ablation(frames=80 if quick else 120),
+        ["ring_length", "delivered", "dropped", "loss_pct"],
+        title="Ablation: receive-ring depth under burst (ATM)"))
+
+    return "\n\n".join(sections)

@@ -1,0 +1,34 @@
+"""Small statistics helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+__all__ = ["Summary", "summarize"]
+
+
+class Summary:
+    """Mean/min/max/stdev of a series of samples."""
+
+    def __init__(self, samples: Sequence[float]):
+        if not samples:
+            raise ValueError("cannot summarize zero samples")
+        self.samples: List[float] = list(samples)
+        self.n = len(self.samples)
+        self.mean = sum(self.samples) / self.n
+        self.minimum = min(self.samples)
+        self.maximum = max(self.samples)
+        if self.n > 1:
+            variance = sum((s - self.mean) ** 2 for s in self.samples) / (self.n - 1)
+            self.stdev = math.sqrt(variance)
+        else:
+            self.stdev = 0.0
+
+    def __repr__(self) -> str:
+        return "Summary(mean=%.1f min=%.1f max=%.1f n=%d)" % (
+            self.mean, self.minimum, self.maximum, self.n)
+
+
+def summarize(samples: Sequence[float]) -> Summary:
+    return Summary(samples)

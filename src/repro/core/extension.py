@@ -1,0 +1,60 @@
+"""Application-extension convenience layer.
+
+An application-specific protocol in Plexus is: a *credential* (the
+principal), a *signed extension* (imports + init), and an *installation*
+into a stack's protection domain.  :class:`AppExtension` bundles the
+three so examples and tests read like the paper's Figure 2 module.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..spin.linker import Extension, LinkedExtension, compile_extension
+from .manager import Credential
+from .plexus import PlexusStack
+
+__all__ = ["AppExtension"]
+
+
+class AppExtension:
+    """One application's protocol extension, end to end.
+
+    ``init(env, credential)`` receives the resolved import environment and
+    the application's credential, and returns the handles it installed
+    (used at uninstall time).
+    """
+
+    def __init__(self, name: str, imports: List[str],
+                 init: Callable[[Dict[str, Any], Credential], Any],
+                 privileged: bool = False):
+        self.credential = Credential(name, privileged=privileged)
+
+        def bound_init(env: Dict[str, Any]) -> Any:
+            return init(env, self.credential)
+
+        self.extension: Extension = compile_extension(name, imports, bound_init)
+        self.linked: Optional[LinkedExtension] = None
+
+    @property
+    def name(self) -> str:
+        return self.extension.name
+
+    def install(self, stack: PlexusStack, domain=None) -> LinkedExtension:
+        """Link into ``stack`` (its app domain unless ``domain`` given)."""
+        if self.linked is not None and not self.linked.unlinked:
+            raise RuntimeError("extension %r is already installed" % self.name)
+        self.linked = stack.install_extension(self.extension, domain)
+        return self.linked
+
+    def uninstall(self, stack: PlexusStack) -> None:
+        if self.linked is None or self.linked.unlinked:
+            raise RuntimeError("extension %r is not installed" % self.name)
+        stack.remove_extension(self.linked)
+
+    @property
+    def state(self) -> Any:
+        """Whatever the init returned (handles, endpoints...)."""
+        if self.linked is None:
+            return None
+        return self.linked.installed_state

@@ -1,0 +1,517 @@
+"""Protocol managers: the protection *policy* of Plexus (paper sec. 3.1).
+
+"Both [spoofing and snooping] are prevented through the use of protocol
+managers which ensure that a packet is never delivered to, nor accepted
+from, an illegitimate protocol graph node.  It is the responsibility of
+the protocol manager to define the notion of 'legitimacy'."
+
+Concretely, in this reproduction:
+
+* Applications present a :class:`Credential`.  Port and ethertype
+  ownership is tracked per credential in :class:`PortSpace` registries, so
+  an application can never attach a handler to an endpoint another
+  application owns -- and because the *manager* constructs the guard from
+  the claimed endpoint (applications never supply raw guards to transport
+  events), a handler can never see traffic outside its claim: snooping is
+  impossible by construction.
+* Send capabilities returned by the managers *overwrite* source fields
+  with the owning endpoint's identity (the paper's fast anti-spoofing
+  option), or -- in ``verify`` mode -- check a claimed source and raise
+  :class:`SpoofingError` (the debugging option).
+* Managers running handlers at interrupt level demand EPHEMERAL handlers
+  and attach time limits (paper sec. 3.3); non-ephemeral handlers are
+  rejected at install time.
+
+"Once the handler has been installed, the dispatcher will route control
+directly to the handler (without going through the intermediate protocol
+manager)" -- likewise here: the manager participates only at install and
+send-capability creation; the receive path is dispatcher -> guard ->
+handler.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Optional, Set
+
+from ..lang.ephemeral import is_ephemeral, register_safe
+from ..net.headers import IPPROTO_ICMP, IPPROTO_TCP, IPPROTO_UDP
+from ..net.tcp import TcpProto
+from ..spin.mbuf import Mbuf
+from . import filters
+
+__all__ = [
+    "Credential",
+    "PortSpace",
+    "AccessError",
+    "SpoofingError",
+    "EthernetManager",
+    "IpManager",
+    "UdpManager",
+    "UdpEndpoint",
+    "TcpManager",
+]
+
+_cred_ids = itertools.count(1)
+
+
+class AccessError(PermissionError):
+    """An application attempted something its credential does not allow."""
+
+
+class SpoofingError(AccessError):
+    """A send carried an illegitimate source field (verify mode)."""
+
+
+class Credential:
+    """An application principal.
+
+    Unforgeable in the capability sense: managers compare object identity,
+    so holding the credential object is the only way to act as it.
+    ``privileged`` marks superuser-equivalent principals; per the paper's
+    *openness* property they get only marginal extra rights (claiming
+    reserved endpoints, preserving foreign source addresses when
+    forwarding).
+    """
+
+    def __init__(self, name: str, privileged: bool = False):
+        self.name = name
+        self.privileged = privileged
+        self.credential_id = next(_cred_ids)
+
+    def __repr__(self) -> str:
+        return "<Credential %s%s>" % (self.name, " privileged" if self.privileged else "")
+
+
+class PortSpace:
+    """Ownership registry for one numeric namespace (ports, ethertypes)."""
+
+    def __init__(self, name: str, reserved: Iterable[int] = ()):
+        self.name = name
+        self.reserved: Set[int] = set(reserved)
+        self._owners: Dict[int, Credential] = {}
+
+    def owner(self, number: int) -> Optional[Credential]:
+        return self._owners.get(number)
+
+    def claim(self, number: int, credential: Credential) -> None:
+        if number in self.reserved and not credential.privileged:
+            raise AccessError(
+                "%s %d is reserved to the kernel; credential %s may not "
+                "claim it" % (self.name, number, credential.name))
+        current = self._owners.get(number)
+        if current is not None and current is not credential:
+            raise AccessError(
+                "%s %d is owned by %s; credential %s may not claim it"
+                % (self.name, number, current.name, credential.name))
+        self._owners[number] = credential
+
+    def release(self, number: int, credential: Credential) -> None:
+        current = self._owners.get(number)
+        if current is None:
+            return
+        if current is not credential and not credential.privileged:
+            raise AccessError(
+                "credential %s may not release %s %d owned by %s"
+                % (credential.name, self.name, number, current.name))
+        del self._owners[number]
+
+
+class InstallHandle:
+    """What a manager hands back: uninstalls the edge and releases claims."""
+
+    def __init__(self, edge, on_uninstall: Optional[Callable[[], None]] = None):
+        self.edge = edge
+        self._on_uninstall = on_uninstall
+        self.uninstalled = False
+
+    @property
+    def handle(self):
+        return self.edge.handle
+
+    def uninstall(self) -> None:
+        if self.uninstalled:
+            return
+        self.uninstalled = True
+        graph = self.edge.src.manager.stack.graph if self.edge.src.manager else None
+        if graph is not None:
+            graph.remove_edge(self.edge)
+            if self.edge.dst.kind == "extension" and not self.edge.dst.in_edges \
+                    and not self.edge.dst.out_edges:
+                graph.nodes.pop(self.edge.dst.name, None)
+        elif self.edge.handle.installed:
+            self.edge.handle.uninstall()
+        if self._on_uninstall is not None:
+            self._on_uninstall()
+
+
+class _ManagerBase:
+    """Shared plumbing for the per-protocol managers."""
+
+    def __init__(self, stack, node_name: str):
+        self.stack = stack
+        self.host = stack.host
+        self.node = stack.graph.node(node_name)
+        self.node.manager = self
+
+    def _require_ephemeral(self, handler: Callable, mode: str) -> None:
+        if mode == "inline" and not is_ephemeral(handler):
+            raise AccessError(
+                "handler %r is not EPHEMERAL; only ephemeral procedures may "
+                "run at interrupt level (paper sec. 3.3) -- install with "
+                "mode='thread' or declare it @ephemeral"
+                % getattr(handler, "__name__", handler))
+
+    def _install_edge(self, event, handler: Callable, guard: Optional[Callable],
+                      mode: str, time_limit: Optional[float],
+                      extension_name: str,
+                      on_uninstall: Optional[Callable[[], None]] = None) -> InstallHandle:
+        handle = self.host.dispatcher.install(
+            event, handler, guard=guard, mode=mode, time_limit=time_limit,
+            label=extension_name)
+        graph = self.stack.graph
+        if extension_name in graph.nodes:
+            dst = graph.node(extension_name)
+        else:
+            dst = graph.add_node(extension_name, "extension")
+        edge = graph.add_edge(self.node, dst, handle)
+        return InstallHandle(edge, on_uninstall)
+
+    def _charge_send_raise(self) -> None:
+        """Cost of raising a manager-granted PacketSend event."""
+        self.host.cpu.charge(self.host.costs.dispatch_per_handler, "dispatch")
+
+
+class EthernetManager(_ManagerBase):
+    """Manager for the link-level node: ethertype claims.
+
+    The reserved types (IP, ARP) belong to the kernel stack; applications
+    claim private ethertypes (the active-message extension of paper
+    sec. 3.3 claims one).  Inline (interrupt-level) handlers must be
+    EPHEMERAL and receive a default time limit.
+    """
+
+    DEFAULT_TIME_LIMIT_US = 50.0
+
+    def __init__(self, stack, reserved_types: Iterable[int]):
+        super().__init__(stack, stack.link_node_name)
+        self.types = PortSpace("ethertype", reserved=reserved_types)
+
+    def claim_ethertype(self, credential: Credential, ethertype: int,
+                        handler: Callable, mode: str = "inline",
+                        time_limit: Optional[float] = None) -> InstallHandle:
+        self.types.claim(ethertype, credential)
+        if mode == "inline":
+            self._require_ephemeral(handler, mode)
+            if time_limit is None:
+                time_limit = self.DEFAULT_TIME_LIMIT_US
+        install = self._install_edge(
+            self.stack.link_recv_event, handler,
+            filters.ethertype_guard(ethertype), mode, time_limit,
+            extension_name="%s:0x%04x:%s" % (self.node.name, ethertype,
+                                             credential.name),
+            on_uninstall=lambda: self.types.release(ethertype, credential))
+        return install
+
+    def send_capability(self, credential: Credential, ethertype: int) -> Callable:
+        """A raw-frame sender locked to the claimed ethertype.
+
+        Anti-spoofing by construction: the returned procedure frames every
+        payload with the claimed type and this host's source address.
+        """
+        owner = self.types.owner(ethertype)
+        if owner is not credential:
+            raise AccessError(
+                "credential %s does not own ethertype 0x%04x" %
+                (credential.name, ethertype))
+        ethernet = self.stack.ethernet
+        if ethernet is None:
+            raise AccessError("this stack's link layer does not frame ethertypes")
+
+        def send(payload: bytes, dst_mac: bytes) -> None:
+            self._charge_send_raise()
+            m = self.host.mbufs.from_bytes(payload, leading_space=16)
+            ethernet.output(m, dst_mac, ethertype)
+
+        return register_safe(send)
+
+
+class IpManager(_ManagerBase):
+    """Manager for the IP node: protocol-number and port-redirect claims."""
+
+    def __init__(self, stack):
+        super().__init__(stack, "ip")
+        self.protocols = PortSpace(
+            "ip-protocol", reserved=(IPPROTO_TCP, IPPROTO_UDP, IPPROTO_ICMP))
+
+    def claim_protocol(self, credential: Credential, protocol: int,
+                       handler: Callable, mode: str = "inline",
+                       time_limit: Optional[float] = None) -> InstallHandle:
+        """Attach a handler for a whole IP protocol number."""
+        self.protocols.claim(protocol, credential)
+        if mode == "inline":
+            self._require_ephemeral(handler, mode)
+        return self._install_edge(
+            self.stack.ip_recv_event, handler,
+            filters.ip_protocol_guard(protocol), mode, time_limit,
+            extension_name="ipproto:%d:%s" % (protocol, credential.name),
+            on_uninstall=lambda: self.protocols.release(protocol, credential))
+
+    def claim_port_redirect(self, credential: Credential, ip_protocol: int,
+                            port: int, handler: Callable, mode: str = "inline",
+                            time_limit: Optional[float] = None) -> InstallHandle:
+        """Install a transport-port redirect node at the IP level.
+
+        This is the paper's forwarding protocol (sec. 5.2): the node sees
+        *all* packets -- data and control -- for one TCP/UDP destination
+        port, before the local transport would.  The port must be claimable
+        in the corresponding transport port space, and local transport
+        delivery for it is suppressed while the redirect is installed.
+        """
+        if ip_protocol == IPPROTO_TCP:
+            space = self.stack.tcp_manager.ports
+            suppressed = self.stack.tcp_manager.diverted_ports
+        elif ip_protocol == IPPROTO_UDP:
+            space = self.stack.udp_manager.ports
+            suppressed = self.stack.udp_manager.diverted_ports
+        else:
+            raise AccessError("port redirect supports TCP or UDP only")
+        space.claim(port, credential)
+        if mode == "inline":
+            self._require_ephemeral(handler, mode)
+        suppressed.add(port)
+
+        def cleanup() -> None:
+            suppressed.discard(port)
+            space.release(port, credential)
+
+        return self._install_edge(
+            self.stack.ip_recv_event, handler,
+            filters.transport_redirect_guard(ip_protocol, port), mode,
+            time_limit,
+            extension_name="redirect:%d:%d:%s" % (ip_protocol, port,
+                                                  credential.name),
+            on_uninstall=cleanup)
+
+    def link_redirect_capability(self, credential: Credential) -> Callable:
+        """A capability that re-emits a received IP packet, unmodified, to
+        a different host on the local link (the in-kernel forwarding node
+        of paper sec. 5.2).
+
+        The packet keeps its original source *and destination* addresses
+        -- the backend hosts the virtual IP as an alias -- so end-to-end
+        transport semantics survive.  Because the re-emitted packet
+        carries a foreign source, this capability is privileged.
+        """
+        if not credential.privileged:
+            raise AccessError(
+                "transparent redirection re-emits foreign source addresses; "
+                "credential %s is not privileged" % credential.name)
+        stack = self.stack
+        host = self.host
+
+        def redirect(m: Mbuf, ip_header_off: int, next_hop: int) -> None:
+            self._charge_send_raise()
+            packet = host.mbufs.from_bytes(
+                m.to_bytes()[ip_header_off:], leading_space=16)
+            host.cpu.charge(packet.length() * host.costs.copy_per_byte, "copy")
+            stack.ip.lower.send(packet, next_hop)
+
+        # Manager-granted capabilities are trusted kernel code: callable
+        # from ephemeral handlers.
+        return register_safe(redirect)
+
+    def alias_capability(self, credential: Credential) -> Callable:
+        """A capability to host a virtual IP address (privileged)."""
+        if not credential.privileged:
+            raise AccessError(
+                "hosting a foreign address is spoofing; credential %s is "
+                "not privileged" % credential.name)
+        return self.stack.ip.add_alias
+
+    def send_capability(self, credential: Credential,
+                        preserve_source: bool = False) -> Callable:
+        """An IP sender.  Unprivileged senders always stamp this host's
+        address; ``preserve_source`` (transparent forwarding) requires a
+        privileged credential."""
+        if preserve_source and not credential.privileged:
+            raise AccessError(
+                "forwarding with a foreign source address is spoofing; "
+                "credential %s is not privileged" % credential.name)
+        ip = self.stack.ip
+
+        def send(m: Mbuf, dst: int, protocol: int,
+                 src: Optional[int] = None) -> None:
+            self._charge_send_raise()
+            if not preserve_source:
+                src = ip.my_ip  # overwrite: the fast anti-spoofing option
+            ip.output(m, dst, protocol, src=src)
+
+        return register_safe(send)
+
+
+class UdpEndpoint:
+    """An application's bound UDP port: receive handler + send capability."""
+
+    def __init__(self, manager: "UdpManager", credential: Credential, port: int,
+                 install: InstallHandle, checksum: bool, spoof_policy: str):
+        self.manager = manager
+        self.credential = credential
+        self.port = port
+        self.install = install
+        self.checksum = checksum
+        self.spoof_policy = spoof_policy
+        self.datagrams_sent = 0
+        self.closed = False
+
+    def send(self, payload: bytes, dst_ip: int, dst_port: int,
+             claimed_src_port: Optional[int] = None) -> None:
+        """Send a datagram from this endpoint (plain code).
+
+        The source fields are *overwritten* with the endpoint's identity
+        (the manager's fast anti-spoofing policy); in ``verify`` mode a
+        mismatched ``claimed_src_port`` raises :class:`SpoofingError`
+        instead (the debugging policy of paper sec. 3.1).
+        """
+        if self.closed:
+            raise AccessError("endpoint for port %d is closed" % self.port)
+        if self.spoof_policy == "verify" and claimed_src_port is not None and \
+                claimed_src_port != self.port:
+            raise SpoofingError(
+                "endpoint owns port %d but tried to send from port %d"
+                % (self.port, claimed_src_port))
+        host = self.manager.host
+        self.manager._charge_send_raise()
+        m = host.mbufs.from_bytes(payload, leading_space=64)
+        self.datagrams_sent += 1
+        self.manager.stack.udp.output(
+            m, src_port=self.port, dst_ip=dst_ip, dst_port=dst_port,
+            checksum=self.checksum)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.install.uninstall()
+
+    def uninstall(self) -> None:
+        """Alias so the dynamic linker can tear endpoints down at unlink."""
+        self.close()
+
+
+# Sending through an owned endpoint is a trusted, non-blocking kernel
+# service: ephemeral handlers may call it (the echo servers of sec. 4 do).
+register_safe(UdpEndpoint.send)
+
+
+class UdpManager(_ManagerBase):
+    """Manager for the UDP node: port binding."""
+
+    DEFAULT_TIME_LIMIT_US = 500.0
+
+    def __init__(self, stack):
+        super().__init__(stack, "udp")
+        self.ports = PortSpace("udp-port", reserved=range(1, 64))
+        self.diverted_ports: Set[int] = set()
+
+    def bind(self, credential: Credential, port: int, handler: Callable,
+             mode: str = "inline", time_limit: Optional[float] = None,
+             checksum: bool = True, spoof_policy: str = "overwrite") -> UdpEndpoint:
+        """Bind ``port``: install the guarded receive handler and return
+        the endpoint (which carries the send capability).
+
+        ``handler(m, payload_off, src_ip, src_port, dst_ip, dst_port)``
+        runs with a READONLY packet.  ``checksum=False`` selects the
+        checksum-disabled UDP variant of paper sec. 1.1 for *sends* from
+        this endpoint (receives honour whatever the wire says).
+        """
+        if spoof_policy not in ("overwrite", "verify"):
+            raise AccessError("unknown spoof policy %r" % spoof_policy)
+        if port in self.diverted_ports:
+            raise AccessError("port %d is diverted by a forwarder" % port)
+        self.ports.claim(port, credential)
+        if mode == "inline":
+            self._require_ephemeral(handler, mode)
+            if time_limit is None:
+                time_limit = self.DEFAULT_TIME_LIMIT_US
+        install = self._install_edge(
+            self.stack.udp_recv_event, handler,
+            filters.udp_dst_port_guard(port), mode, time_limit,
+            extension_name="udp:%d:%s" % (port, credential.name),
+            on_uninstall=lambda: self.ports.release(port, credential))
+        return UdpEndpoint(self, credential, port, install, checksum, spoof_policy)
+
+
+class TcpManager(_ManagerBase):
+    """Manager for the TCP node: connections, listeners, and alternative
+    implementations (paper sec. 3.1, "Multiple protocol implementations")."""
+
+    def __init__(self, stack):
+        super().__init__(stack, "tcp")
+        self.ports = PortSpace("tcp-port", reserved=range(1, 64))
+        #: ports claimed by special implementations or IP-level redirects;
+        #: the standard implementation's guard excludes these live.
+        self.special_ports: Set[int] = set()
+        self.diverted_ports: Set[int] = set()
+        self.implementations: Dict[str, TcpProto] = {}
+
+    @property
+    def standard(self) -> TcpProto:
+        return self.stack.tcp
+
+    def listen(self, credential: Credential, port: int,
+               on_accept: Callable) -> "TcpListenerHandle":
+        if port in self.diverted_ports or port in self.special_ports:
+            raise AccessError("tcp port %d is claimed elsewhere" % port)
+        self.ports.claim(port, credential)
+        listener = self.standard.listen(port, on_accept)
+        return TcpListenerHandle(self, credential, port, listener)
+
+    def connect(self, credential: Credential, raddr: int, rport: int):
+        """Active open through the standard implementation."""
+        lport = self.standard.allocate_port()
+        self.ports.claim(lport, credential)
+        return self.standard.connect(raddr, rport, lport=lport)
+
+    def install_implementation(self, credential: Credential, name: str,
+                               ports: Iterable[int]) -> TcpProto:
+        """Install a TCP-special implementation owning ``ports``.
+
+        Returns a fresh :class:`TcpProto` whose segments arrive through a
+        guard matching exactly those ports; the standard implementation's
+        guard stops seeing them the moment this returns (its exclusion set
+        is shared and live).
+        """
+        port_list = sorted(set(ports))
+        for port in port_list:
+            if port in self.special_ports or port in self.diverted_ports:
+                raise AccessError("tcp port %d already claimed" % port)
+            self.ports.claim(port, credential)
+        special = TcpProto(self.host, self.stack.ip, name=name)
+        self.implementations[name] = special
+
+        def special_input(m, off, src_ip, dst_ip):
+            special.input(m, off, src_ip, dst_ip)
+
+        handle = self.host.dispatcher.install(
+            self.stack.tcp_recv_event, special_input,
+            guard=filters.tcp_port_guard(port_list),
+            mode=self.stack.deliver_mode, label="tcp-%s" % name)
+        node = self.stack.graph.add_node("tcp:%s" % name, "extension")
+        self.stack.graph.add_edge(self.node, node, handle)
+        self.special_ports.update(port_list)
+        return special
+
+
+class TcpListenerHandle:
+    """Wraps a TCP listener with its port claim."""
+
+    def __init__(self, manager: TcpManager, credential: Credential, port: int,
+                 listener):
+        self.manager = manager
+        self.credential = credential
+        self.port = port
+        self.listener = listener
+
+    def close(self) -> None:
+        self.listener.close()
+        self.manager.ports.release(self.port, self.credential)

@@ -1,0 +1,41 @@
+"""Simulated hardware: CPUs, hosts, wires, NICs, disks, framebuffers."""
+
+from .alpha import ALPHA_21064, MICROSECONDS_PER_SECOND, CostTable
+from .cpu import CPU, INTERRUPT_PRIORITY, THREAD_PRIORITY, ChargeError
+from .disk import Disk
+from .framebuffer import Framebuffer
+from .host import Host, Timer
+from .link import (
+    BROADCAST,
+    EthernetSegment,
+    Frame,
+    PointToPointLink,
+    Switch,
+    SwitchPort,
+)
+from .nic import NIC, DriverProfile, ForeAtm, LanceEthernet, T3Nic
+
+__all__ = [
+    "ALPHA_21064",
+    "BROADCAST",
+    "CPU",
+    "ChargeError",
+    "CostTable",
+    "Disk",
+    "DriverProfile",
+    "EthernetSegment",
+    "ForeAtm",
+    "Frame",
+    "Framebuffer",
+    "Host",
+    "INTERRUPT_PRIORITY",
+    "LanceEthernet",
+    "MICROSECONDS_PER_SECOND",
+    "NIC",
+    "PointToPointLink",
+    "Switch",
+    "SwitchPort",
+    "T3Nic",
+    "THREAD_PRIORITY",
+    "Timer",
+]

@@ -1,0 +1,159 @@
+"""Simulated CPU with busy-time accounting.
+
+Execution discipline
+--------------------
+
+Protocol and application code in the reproduction runs as *plain Python*
+that charges CPU costs to an accumulator; the surrounding simulation
+process then *consumes* the accumulated charge, which occupies the CPU
+resource for that much simulated time.  The pattern is::
+
+    marker = cpu.begin()
+    result = plain_protocol_code(...)   # calls cpu.charge(...) freely
+    amount = cpu.end(marker)
+    yield from cpu.consume(amount, priority=INTERRUPT_PRIORITY)
+
+Plain segments never yield, so begin/charge/end is atomic with respect to
+other simulation processes and accumulators cannot cross-contaminate.
+:meth:`CPU.execute` packages the pattern.
+
+Two priority levels model interrupt- versus thread-level execution:
+interrupt-level consumption is served before any queued thread-level
+consumption (non-preemptive: a running slice finishes first, which is
+accurate enough at the microsecond slice sizes used here).
+
+Accounting: :attr:`CPU.busy_time` accumulates every consumed microsecond,
+and :attr:`CPU.category_times` decomposes charges by category (``driver``,
+``protocol``, ``copy``, ``app`` ...) for the utilization breakdowns in
+Figure 6 and section 5.1 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Tuple
+
+from ..sim import Engine, Resource
+from .alpha import ALPHA_21064, CostTable
+
+__all__ = ["CPU", "INTERRUPT_PRIORITY", "THREAD_PRIORITY", "ChargeError"]
+
+INTERRUPT_PRIORITY = 0
+THREAD_PRIORITY = 1
+
+
+class ChargeError(RuntimeError):
+    """Raised when the begin/charge/end discipline is violated."""
+
+
+class CPU:
+    """One processor: a unit-capacity resource plus cost accounting."""
+
+    def __init__(self, engine: Engine, costs: CostTable = ALPHA_21064,
+                 name: str = "cpu"):
+        self.engine = engine
+        self.costs = costs
+        self.name = name
+        self.resource = Resource(engine, capacity=1)
+        self.busy_time: float = 0.0
+        self.category_times: Dict[str, float] = {}
+        self._stack: List[float] = []
+        self._consumed_slices = 0
+
+    # -- the charge accumulator ------------------------------------------
+
+    def begin(self) -> int:
+        """Push a fresh accumulator; returns a marker for :meth:`end`."""
+        self._stack.append(0.0)
+        return len(self._stack)
+
+    def charge(self, microseconds: float, category: str = "kernel") -> None:
+        """Charge CPU work to the innermost open accumulator."""
+        if microseconds < 0:
+            raise ValueError("cannot charge negative time: %r" % microseconds)
+        if not self._stack:
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        self._stack[-1] += microseconds
+        self.category_times[category] = (
+            self.category_times.get(category, 0.0) + microseconds)
+
+    def charge_bytes(self, nbytes: int, per_byte: float,
+                     category: str = "copy") -> None:
+        self.charge(nbytes * per_byte, category)
+
+    def recharge(self, microseconds: float) -> None:
+        """Move already-categorized time into the innermost accumulator.
+
+        Used when a sub-accumulator was popped (e.g. to meter one handler's
+        cost against its time limit) and its remainder must flow into the
+        enclosing accumulator without double-counting category times.
+        """
+        if microseconds < 0:
+            raise ValueError("cannot recharge negative time: %r" % microseconds)
+        if not self._stack:
+            raise ChargeError("cpu.recharge() outside begin()/end()")
+        self._stack[-1] += microseconds
+
+    def end(self, marker: int) -> float:
+        """Pop the accumulator opened by the matching :meth:`begin`."""
+        if marker != len(self._stack):
+            raise ChargeError(
+                "mismatched cpu.end(): marker %d but stack depth %d"
+                % (marker, len(self._stack)))
+        return self._stack.pop()
+
+    @property
+    def open_accumulators(self) -> int:
+        return len(self._stack)
+
+    # -- consumption -------------------------------------------------------
+
+    def consume(self, microseconds: float,
+                priority: int = THREAD_PRIORITY) -> Generator:
+        """Occupy the CPU for ``microseconds`` of simulated time.
+
+        A generator: yield from it inside a simulation process.  Queues
+        behind other consumers according to ``priority``.
+        """
+        if microseconds <= 0:
+            return
+        request = self.resource.request(priority)
+        yield request
+        yield self.engine.timeout(microseconds)
+        self.busy_time += microseconds
+        self._consumed_slices += 1
+        request.release()
+
+    def execute(self, fn: Callable, args: Tuple = (),
+                priority: int = THREAD_PRIORITY) -> Generator:
+        """Run plain ``fn(*args)`` and consume whatever it charged.
+
+        Returns ``fn``'s return value (as the generator's return value).
+        """
+        marker = self.begin()
+        try:
+            result = fn(*args)
+        finally:
+            amount = self.end(marker)
+        yield from self.consume(amount, priority)
+        return result
+
+    # -- measurement ---------------------------------------------------------
+
+    def utilization_since(self, busy_mark: float, time_mark: float) -> float:
+        """Fraction of CPU busy between a (busy, time) sample and now."""
+        elapsed = self.engine.now - time_mark
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, (self.busy_time - busy_mark) / elapsed)
+
+    def sample(self) -> Tuple[float, float]:
+        """A (busy_time, now) sample for :meth:`utilization_since`."""
+        return self.busy_time, self.engine.now
+
+    def category_fraction(self, category: str) -> float:
+        total = sum(self.category_times.values())
+        if total == 0:
+            return 0.0
+        return self.category_times.get(category, 0.0) / total

@@ -1,0 +1,155 @@
+"""Simulated host: one CPU, some NICs, deferred-action plumbing, timers.
+
+A :class:`Host` is the hardware chassis.  The operating-system models --
+the SPIN kernel (``repro.spin.kernel``) and the monolithic UNIX model
+(``repro.unixos``) -- subclass it and implement :meth:`frame_arrived`,
+which is invoked (conceptually: the interrupt line is raised) whenever a
+NIC finishes receiving a frame.
+
+Deferred hardware actions
+-------------------------
+
+Plain (non-yielding) kernel code cannot interact with the event engine
+directly, so side effects into hardware (starting a transmission, kicking
+DMA) are *deferred*: the device driver appends a thunk via :meth:`defer`,
+and the enclosing kernel path executes the thunks after the accumulated
+CPU charge has been consumed.  This keeps cause (CPU work) strictly before
+effect (wire activity) on the simulated timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Tuple
+
+from ..sim import Engine, Process
+from .alpha import ALPHA_21064, CostTable
+from .cpu import CPU, THREAD_PRIORITY
+
+__all__ = ["Host", "Timer"]
+
+
+class Timer:
+    """A cancellable kernel timer; fires ``fn(*args)`` as a kernel path."""
+
+    def __init__(self, host: "Host", delay_us: float, fn: Callable,
+                 args: Tuple = (), priority: int = THREAD_PRIORITY,
+                 name: str = "timer"):
+        self.host = host
+        self.fn = fn
+        self.args = args
+        self.priority = priority
+        self.cancelled = False
+        self.fired = False
+        self.expires_at = host.engine.now + delay_us
+        self._process = host.engine.process(self._wait(delay_us), name=name)
+
+    def _wait(self, delay_us: float) -> Generator:
+        yield self.host.engine.timeout(delay_us)
+        if self.cancelled:
+            return
+        self.fired = True
+        yield from self.host.kernel_path(self.fn, self.args, self.priority)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Host:
+    """Base simulated machine."""
+
+    def __init__(self, engine: Engine, name: str,
+                 costs: CostTable = ALPHA_21064):
+        self.engine = engine
+        self.name = name
+        self.costs = costs
+        self.cpu = CPU(engine, costs, name="%s.cpu" % name)
+        self.nics: Dict[str, Any] = {}
+        self._deferred: List[Callable[[], None]] = []
+
+    # -- wiring -------------------------------------------------------------
+
+    def add_nic(self, nic) -> None:
+        if nic.name in self.nics:
+            raise ValueError("duplicate NIC name %r on host %s" % (nic.name, self.name))
+        self.nics[nic.name] = nic
+        nic.host = self
+
+    def nic(self, name: str):
+        return self.nics[name]
+
+    @property
+    def now(self) -> float:
+        return self.engine.now
+
+    # -- deferred hardware actions -------------------------------------------
+
+    def defer(self, action: Callable[[], None]) -> None:
+        """Queue a hardware side effect to run after the current charge."""
+        self._deferred.append(action)
+
+    def take_deferred(self) -> List[Callable[[], None]]:
+        actions, self._deferred = self._deferred, []
+        return actions
+
+    # -- kernel execution ------------------------------------------------------
+
+    def kernel_path(self, fn: Callable, args: Tuple = (),
+                    priority: int = THREAD_PRIORITY) -> Generator:
+        """Run plain kernel code ``fn(*args)`` on the CPU.
+
+        Ordering matters for causality under load: the CPU is *acquired
+        first* (queueing behind other paths by priority), then ``fn`` runs
+        and the CPU is held for whatever ``fn`` charged.  Deferred
+        hardware actions flush after the hold, so wire activity never
+        precedes the CPU work that caused it.
+
+        Yields inside a simulation process; returns ``fn``'s return value.
+        """
+        request = self.cpu.resource.request(priority)
+        yield request
+        marker = self.cpu.begin()
+        try:
+            result = fn(*args)
+        finally:
+            amount = self.cpu.end(marker)
+            deferred = self.take_deferred()
+        if amount > 0:
+            yield self.engine.timeout(amount)
+            self.cpu.busy_time += amount
+        request.release()
+        for action in deferred:
+            action()
+        return result
+
+    def spawn_kernel_path(self, fn: Callable, args: Tuple = (),
+                          priority: int = THREAD_PRIORITY,
+                          name: str = "kpath") -> Process:
+        """Start :meth:`kernel_path` as an independent process.
+
+        A kernel path that raises is a kernel bug, not an extension
+        failure (the dispatcher contains those); the exception is
+        re-raised out of the engine so it surfaces immediately.
+        """
+        process = self.engine.process(self.kernel_path(fn, args, priority), name=name)
+
+        def surface(event) -> None:
+            if event._exception is not None:
+                raise event._exception
+        process.callbacks.append(surface)
+        return process
+
+    def set_timer(self, delay_us: float, fn: Callable, args: Tuple = (),
+                  priority: int = THREAD_PRIORITY, name: str = "timer") -> Timer:
+        return Timer(self, delay_us, fn, args, priority, name)
+
+    # -- interrupt entry point ---------------------------------------------------
+
+    def frame_arrived(self, nic, frame) -> None:
+        """Called by a NIC when a frame has been received.
+
+        Subclasses (the OS models) implement interrupt handling here.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "<Host %s>" % self.name

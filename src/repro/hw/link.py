@@ -1,0 +1,265 @@
+"""Simulated network media: frames, shared segments, links, switches.
+
+Three media models cover the paper's testbed (section 4):
+
+* :class:`EthernetSegment` -- a shared 10 Mb/s half-duplex bus; every
+  attached NIC sees every frame; the medium is a unit resource so
+  concurrent senders serialize (CSMA collisions are abstracted into FIFO
+  acquisition, which preserves the bandwidth accounting that matters).
+* :class:`PointToPointLink` -- full duplex, one NIC per end (the DEC T3
+  adapters connected back-to-back).
+* :class:`Switch` + :class:`SwitchPort` -- a store-and-forward switch with
+  a fixed forwarding latency (the ForeRunner ATM switch).
+
+Wire time is ``wire_bytes * 8 / bandwidth``; ``wire_bytes`` may exceed the
+payload length (ATM cell padding -- the NIC computes it).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Generator, List, Optional
+
+from ..sim import Engine, Resource
+from .alpha import MICROSECONDS_PER_SECOND
+
+__all__ = ["Frame", "EthernetSegment", "PointToPointLink", "Switch", "SwitchPort",
+           "BROADCAST"]
+
+#: Link-level broadcast address.
+BROADCAST = "ff:ff:ff:ff:ff:ff"
+
+
+class Frame:
+    """A link-level frame in flight.
+
+    ``data`` is the full frame byte string (link header included).
+    ``dst_addr``/``src_addr`` are link-level addresses used by the medium
+    for delivery; they duplicate information inside ``data`` so that the
+    hardware layer never parses protocol headers.  ``wire_bytes`` is the
+    number of bytes that actually occupy the wire (cell padding etc.).
+    """
+
+    __slots__ = ("data", "src_addr", "dst_addr", "wire_bytes", "enqueued_at")
+
+    def __init__(self, data: bytes, src_addr: str, dst_addr: str,
+                 wire_bytes: Optional[int] = None):
+        self.data = bytes(data)
+        self.src_addr = src_addr
+        self.dst_addr = dst_addr
+        self.wire_bytes = wire_bytes if wire_bytes is not None else len(self.data)
+        self.enqueued_at: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return "<Frame %s->%s len=%d>" % (self.src_addr, self.dst_addr, len(self.data))
+
+
+def transmission_time_us(wire_bytes: int, bandwidth_bps: float) -> float:
+    return wire_bytes * 8.0 / bandwidth_bps * MICROSECONDS_PER_SECOND
+
+
+class _Medium:
+    """Common attach bookkeeping plus fault injection.
+
+    ``set_fault_model(loss_rate, corrupt_rate, seed)`` makes the wire
+    drop or corrupt frames with the given probabilities, from a seeded
+    deterministic RNG -- the failure-injection hook used to exercise
+    retransmission and checksum machinery.
+    """
+
+    def __init__(self, engine: Engine, bandwidth_bps: float, propagation_us: float):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.engine = engine
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_us = propagation_us
+        self.nics: List[Any] = []
+        self.frames_carried = 0
+        self.bytes_carried = 0
+        self.frames_lost = 0
+        self.frames_corrupted = 0
+        self._loss_rate = 0.0
+        self._corrupt_rate = 0.0
+        self._fault_rng: Optional[random.Random] = None
+
+    def attach(self, nic) -> None:
+        self.nics.append(nic)
+        nic.link = self
+
+    def set_fault_model(self, loss_rate: float = 0.0,
+                        corrupt_rate: float = 0.0, seed: int = 1996) -> None:
+        """Inject faults: each frame is independently lost or corrupted."""
+        for rate in (loss_rate, corrupt_rate):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError("fault rates must be in [0, 1)")
+        self._loss_rate = loss_rate
+        self._corrupt_rate = corrupt_rate
+        self._fault_rng = random.Random(seed)
+
+    def _apply_faults(self, frame: Frame) -> Optional[Frame]:
+        """None = frame lost; otherwise the (possibly corrupted) frame."""
+        if self._fault_rng is None:
+            return frame
+        if self._loss_rate and self._fault_rng.random() < self._loss_rate:
+            self.frames_lost += 1
+            return None
+        if self._corrupt_rate and self._fault_rng.random() < self._corrupt_rate:
+            self.frames_corrupted += 1
+            data = bytearray(frame.data)
+            index = self._fault_rng.randrange(len(data))
+            data[index] ^= 1 << self._fault_rng.randrange(8)
+            return Frame(bytes(data), frame.src_addr, frame.dst_addr,
+                         wire_bytes=frame.wire_bytes)
+        return frame
+
+    def _account(self, frame: Frame) -> None:
+        self.frames_carried += 1
+        self.bytes_carried += frame.wire_bytes
+
+
+class EthernetSegment(_Medium):
+    """Shared half-duplex bus: one transmission at a time, broadcast."""
+
+    def __init__(self, engine: Engine, bandwidth_bps: float = 10e6,
+                 propagation_us: float = 3.0):
+        super().__init__(engine, bandwidth_bps, propagation_us)
+        self._medium = Resource(engine, capacity=1)
+
+    def transmit(self, sender, frame: Frame) -> Generator:
+        """Occupy the bus for the frame's wire time, then deliver."""
+        grant = self._medium.request()
+        yield grant
+        yield self.engine.timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
+        grant.release()
+        self._account(frame)
+        frame = self._apply_faults(frame)
+        if frame is None:
+            return
+        for nic in self.nics:
+            if nic is sender:
+                continue
+            self._deliver_later(nic, frame)
+
+    def _deliver_later(self, nic, frame: Frame) -> None:
+        def delivery() -> Generator:
+            yield self.engine.timeout(self.propagation_us)
+            nic.frame_on_wire(frame)
+        self.engine.process(delivery(), name="eth-deliver")
+
+
+class PointToPointLink(_Medium):
+    """Full-duplex point-to-point wire (exactly two NICs)."""
+
+    def __init__(self, engine: Engine, bandwidth_bps: float,
+                 propagation_us: float = 1.0):
+        super().__init__(engine, bandwidth_bps, propagation_us)
+        self._direction: Dict[int, Resource] = {}
+
+    def attach(self, nic) -> None:
+        if len(self.nics) >= 2:
+            raise ValueError("point-to-point link already has two endpoints")
+        super().attach(nic)
+        self._direction[id(nic)] = Resource(self.engine, capacity=1)
+
+    def peer_of(self, nic):
+        for other in self.nics:
+            if other is not nic:
+                return other
+        raise ValueError("link has no peer for %r" % nic)
+
+    def transmit(self, sender, frame: Frame) -> Generator:
+        peer = self.peer_of(sender)
+        lane = self._direction[id(sender)]
+        grant = lane.request()
+        yield grant
+        yield self.engine.timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
+        grant.release()
+        self._account(frame)
+        frame = self._apply_faults(frame)
+        if frame is None:
+            return
+        yield self.engine.timeout(self.propagation_us)
+        peer.frame_on_wire(frame)
+
+
+class SwitchPort(_Medium):
+    """One full-duplex port wire between a NIC and a :class:`Switch`."""
+
+    def __init__(self, engine: Engine, switch: "Switch", bandwidth_bps: float,
+                 propagation_us: float = 1.0):
+        super().__init__(engine, bandwidth_bps, propagation_us)
+        self.switch = switch
+        self._to_switch = Resource(engine, capacity=1)
+        self._to_nic = Resource(engine, capacity=1)
+
+    def attach(self, nic) -> None:
+        if self.nics:
+            raise ValueError("switch port already attached")
+        super().attach(nic)
+        self.switch.register(nic, self)
+
+    @property
+    def nic(self):
+        return self.nics[0]
+
+    def transmit(self, sender, frame: Frame) -> Generator:
+        """NIC -> switch direction."""
+        grant = self._to_switch.request()
+        yield grant
+        yield self.engine.timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
+        grant.release()
+        self._account(frame)
+        frame = self._apply_faults(frame)
+        if frame is None:
+            return
+        yield self.engine.timeout(self.propagation_us)
+        self.switch.accept(frame)
+
+    def forward_to_nic(self, frame: Frame) -> Generator:
+        """Switch -> NIC direction."""
+        grant = self._to_nic.request()
+        yield grant
+        yield self.engine.timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
+        grant.release()
+        yield self.engine.timeout(self.propagation_us)
+        self.nic.frame_on_wire(frame)
+
+
+class Switch:
+    """Store-and-forward switch with a fixed per-frame forwarding latency."""
+
+    def __init__(self, engine: Engine, bandwidth_bps: float = 155e6,
+                 forward_latency_us: float = 10.0, name: str = "switch"):
+        self.engine = engine
+        self.bandwidth_bps = bandwidth_bps
+        self.forward_latency_us = forward_latency_us
+        self.name = name
+        self._ports: Dict[str, SwitchPort] = {}
+        self.frames_forwarded = 0
+        self.frames_flooded = 0
+
+    def new_port(self, propagation_us: float = 1.0) -> SwitchPort:
+        return SwitchPort(self.engine, self, self.bandwidth_bps, propagation_us)
+
+    def register(self, nic, port: SwitchPort) -> None:
+        self._ports[nic.address] = port
+
+    def accept(self, frame: Frame) -> None:
+        self.engine.process(self._forward(frame), name="switch-fwd")
+
+    def _forward(self, frame: Frame) -> Generator:
+        yield self.engine.timeout(self.forward_latency_us)
+        port = self._ports.get(frame.dst_addr)
+        if port is not None:
+            self.frames_forwarded += 1
+            yield from port.forward_to_nic(frame)
+            return
+        # Unknown or broadcast destination: flood all ports except source.
+        self.frames_flooded += 1
+        for addr, out_port in self._ports.items():
+            if addr == frame.src_addr:
+                continue
+            self.engine.process(out_port.forward_to_nic(frame), name="switch-flood")

@@ -1,0 +1,238 @@
+"""Network interface cards: the generic NIC plus the paper's three devices.
+
+The paper's testbed (section 4) has three network adapters per host:
+
+* a 10 Mb/s Lance Ethernet (:class:`LanceEthernet`),
+* a 155 Mb/s Fore TCA-100 ATM interface using programmed I/O, which limits
+  effective bandwidth to what the CPU can push (:class:`ForeAtm`),
+* an experimental 45 Mb/s DEC T3 adapter using DMA (:class:`T3Nic`).
+
+Each device has a :class:`DriverProfile` of CPU costs.  The ``fast``
+profiles model the "faster device driver" of section 4.1 (337 us Ethernet /
+241 us ATM round trips).
+
+Driver cost accounting follows the host execution discipline: transmit
+costs are charged by :meth:`NIC.stage_tx` (called from plain driver code)
+and receive costs by :meth:`NIC.driver_recv_charges` (called from the
+host's interrupt path).  PIO devices charge per-byte CPU on both paths;
+DMA devices charge only fixed setup costs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Generator, Optional
+
+from ..sim import Engine, Store
+from .link import BROADCAST, Frame
+
+__all__ = ["NIC", "DriverProfile", "LanceEthernet", "ForeAtm", "T3Nic"]
+
+_nic_counter = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class DriverProfile:
+    """CPU costs of one device driver (microseconds / us-per-byte)."""
+
+    fixed_tx: float           # per-packet transmit path (setup, ring, kick)
+    fixed_rx: float           # per-packet receive path (ring, refill, hand-off)
+    pio_tx_per_byte: float = 0.0
+    pio_rx_per_byte: float = 0.0
+    rx_latency_us: float = 10.0   # device-side delay before the interrupt
+
+
+class NIC:
+    """Generic network interface with a transmit queue and rx accounting."""
+
+    #: subclasses set these
+    mtu: int = 1500
+    link_header: int = 0
+
+    def __init__(self, engine: Engine, name: str, address: Optional[str] = None,
+                 profile: Optional[DriverProfile] = None,
+                 tx_queue_len: int = 64, rx_ring_len: int = 64):
+        self.engine = engine
+        self.name = name
+        self.address = address or "nic-%d" % next(_nic_counter)
+        self.profile = profile or self.default_profile()
+        self.host = None          # set by Host.add_nic
+        self.link = None          # set by medium.attach
+        self._tx_queue = Store(engine, capacity=tx_queue_len)
+        self.rx_ring_len = rx_ring_len
+        self.rx_pending = 0
+        self.tx_frames = 0
+        self.tx_bytes = 0
+        self.rx_frames = 0
+        self.rx_bytes = 0
+        self.rx_drops = 0
+        self.promiscuous = False
+        engine.process(self._tx_process(), name="%s-tx" % self.name)
+
+    # -- device-specific policy -------------------------------------------
+
+    @classmethod
+    def default_profile(cls) -> DriverProfile:
+        raise NotImplementedError
+
+    def wire_bytes(self, frame_len: int) -> int:
+        """Bytes the frame occupies on the wire (padding, cells...)."""
+        return frame_len
+
+    # -- transmit path -------------------------------------------------------
+
+    def stage_tx(self, data: bytes, dst_addr: str) -> bool:
+        """Driver transmit entry (plain code): charge CPU, defer the send.
+
+        Returns False when the transmit queue is full and the frame was
+        dropped (the caller may count it).
+        """
+        if self.host is None:
+            raise RuntimeError("NIC %s not installed on a host" % self.name)
+        if len(data) > self.mtu + self.link_header:
+            raise ValueError(
+                "frame of %d bytes exceeds %s MTU %d (+%d header)"
+                % (len(data), self.name, self.mtu, self.link_header))
+        profile = self.profile
+        self.host.cpu.charge(profile.fixed_tx, "driver")
+        if profile.pio_tx_per_byte:
+            self.host.cpu.charge(len(data) * profile.pio_tx_per_byte, "driver-pio")
+        frame = Frame(data, self.address, dst_addr,
+                      wire_bytes=self.wire_bytes(len(data)))
+        state = {"ok": True}
+
+        def enqueue() -> None:
+            frame.enqueued_at = self.engine.now
+            if not self._tx_queue.try_put(frame):
+                state["ok"] = False
+        self.host.defer(enqueue)
+        self.tx_frames += 1
+        self.tx_bytes += len(data)
+        return state["ok"]
+
+    def _tx_process(self) -> Generator:
+        while True:
+            frame = yield self._tx_queue.get()
+            if self.link is None:
+                continue  # unplugged: frame vanishes
+            yield from self.link.transmit(self, frame)
+
+    # -- receive path -----------------------------------------------------------
+
+    @staticmethod
+    def _is_broadcast(addr) -> bool:
+        return addr == BROADCAST or addr == b"\xff" * 6
+
+    def frame_on_wire(self, frame: Frame) -> None:
+        """Medium delivered a frame to this NIC."""
+        if not self.promiscuous and frame.dst_addr != self.address and \
+                not self._is_broadcast(frame.dst_addr):
+            return
+        if self.rx_pending >= self.rx_ring_len:
+            self.rx_drops += 1
+            return
+        self.rx_pending += 1
+        self.engine.process(self._raise_interrupt(frame), name="%s-rx" % self.name)
+
+    def _raise_interrupt(self, frame: Frame) -> Generator:
+        yield self.engine.timeout(self.profile.rx_latency_us)
+        self.rx_frames += 1
+        self.rx_bytes += len(frame.data)
+        self.host.frame_arrived(self, frame)
+
+    def driver_recv_charges(self, frame: Frame) -> None:
+        """Charge the CPU cost of pulling one frame out of the device.
+
+        Called from the host's interrupt path (plain code).  Also retires
+        the frame from the receive ring.
+        """
+        self.rx_pending -= 1
+        profile = self.profile
+        self.host.cpu.charge(profile.fixed_rx, "driver")
+        if profile.pio_rx_per_byte:
+            self.host.cpu.charge(len(frame.data) * profile.pio_rx_per_byte, "driver-pio")
+
+    def __repr__(self) -> str:
+        return "<%s %s addr=%s>" % (type(self).__name__, self.name, self.address)
+
+
+class LanceEthernet(NIC):
+    """10 Mb/s Lance Ethernet.  DMA-based but with a heavyweight driver."""
+
+    mtu = 1500
+    link_header = 14
+    MIN_FRAME = 64
+
+    STANDARD = DriverProfile(fixed_tx=75.0, fixed_rx=90.0, rx_latency_us=15.0)
+    FAST = DriverProfile(fixed_tx=25.0, fixed_rx=28.0, rx_latency_us=10.0)
+
+    def __init__(self, engine: Engine, name: str, address: Optional[str] = None,
+                 fast_driver: bool = False, **kwargs):
+        profile = self.FAST if fast_driver else self.STANDARD
+        super().__init__(engine, name, address, profile=profile, **kwargs)
+
+    @classmethod
+    def default_profile(cls) -> DriverProfile:
+        return cls.STANDARD
+
+    def wire_bytes(self, frame_len: int) -> int:
+        # Pad to the Ethernet minimum; add the 4-byte CRC + 8-byte preamble.
+        return max(frame_len, self.MIN_FRAME) + 12
+
+
+class ForeAtm(NIC):
+    """Fore TCA-100 ATM on TurboChannel: 155 Mb/s wire, programmed I/O.
+
+    Every byte in and out crosses the CPU one word at a time, so the per-
+    byte PIO costs dominate and cap effective bandwidth well below the
+    wire rate -- the paper measured at most ~53 Mb/s driver-to-driver.
+    """
+
+    mtu = 9180
+    link_header = 8  # simplified AAL5 encapsulation header
+
+    STANDARD = DriverProfile(fixed_tx=48.0, fixed_rx=53.0,
+                             pio_tx_per_byte=0.10, pio_rx_per_byte=0.15,
+                             rx_latency_us=8.0)
+    FAST = DriverProfile(fixed_tx=22.0, fixed_rx=24.0,
+                         pio_tx_per_byte=0.10, pio_rx_per_byte=0.15,
+                         rx_latency_us=6.0)
+
+    CELL_SIZE = 53
+    CELL_PAYLOAD = 48
+
+    def __init__(self, engine: Engine, name: str, address: Optional[str] = None,
+                 fast_driver: bool = False, **kwargs):
+        profile = self.FAST if fast_driver else self.STANDARD
+        super().__init__(engine, name, address, profile=profile, **kwargs)
+
+    @classmethod
+    def default_profile(cls) -> DriverProfile:
+        return cls.STANDARD
+
+    def wire_bytes(self, frame_len: int) -> int:
+        # AAL5: pad to a whole number of cells; each 48-byte payload chunk
+        # rides in a 53-byte cell.
+        cells = (frame_len + 8 + self.CELL_PAYLOAD - 1) // self.CELL_PAYLOAD
+        return cells * self.CELL_SIZE
+
+
+class T3Nic(NIC):
+    """Experimental DEC T3 adapter: 45 Mb/s, DMA, minimal CPU involvement."""
+
+    mtu = 4470
+    link_header = 4
+
+    STANDARD = DriverProfile(fixed_tx=42.0, fixed_rx=48.0, rx_latency_us=10.0)
+
+    def __init__(self, engine: Engine, name: str, address: Optional[str] = None,
+                 **kwargs):
+        super().__init__(engine, name, address, profile=self.STANDARD, **kwargs)
+
+    @classmethod
+    def default_profile(cls) -> DriverProfile:
+        return cls.STANDARD
+
+    def wire_bytes(self, frame_len: int) -> int:
+        return frame_len + 4  # light HDLC-style framing

@@ -1,0 +1,130 @@
+"""READONLY buffer enforcement (paper section 3.4, Figure 4).
+
+Plexus passes packets through the protocol graph as read-only buffers;
+Modula-3's compiler rejects handlers that write through a READONLY
+parameter.  Python has no compiler to do that for us, so we enforce the
+same property at the buffer layer: a :class:`ReadOnlyBuffer` supports every
+read operation a ``bytearray`` does, but any mutation raises
+:class:`ReadOnlyViolation`.
+
+An extension that needs to modify packet data must make an explicit copy
+first (:meth:`ReadOnlyBuffer.copy` returns a fresh, writable ``bytearray``)
+-- exactly the explicit copy-on-write discipline the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Union
+
+__all__ = ["ReadOnlyBuffer", "ReadOnlyViolation", "readonly"]
+
+
+class ReadOnlyViolation(TypeError):
+    """Raised when code attempts to mutate a READONLY buffer.
+
+    This is the runtime analogue of the compile error in Figure 4 of the
+    paper (``BadPacketRecv`` writing through a READONLY parameter).
+    """
+
+
+class ReadOnlyBuffer:
+    """An immutable view over packet bytes.
+
+    Wraps the underlying storage without copying.  Slicing returns
+    ``bytes`` (inherently immutable); indexing returns ints; all mutating
+    operations raise :class:`ReadOnlyViolation`.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Union[bytes, bytearray, memoryview, "ReadOnlyBuffer"]):
+        if isinstance(data, ReadOnlyBuffer):
+            data = data._data
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise TypeError("ReadOnlyBuffer wraps bytes-like data, got %r" % (data,))
+        self._data = data
+
+    # -- reads ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, index) -> Union[int, bytes]:
+        result = self._data[index]
+        if isinstance(index, slice):
+            return bytes(result)
+        return result
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(bytes(self._data))
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, ReadOnlyBuffer):
+            return bytes(self._data) == bytes(other._data)
+        if isinstance(other, (bytes, bytearray, memoryview)):
+            return bytes(self._data) == bytes(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(bytes(self._data))
+
+    def __bytes__(self) -> bytes:
+        return bytes(self._data)
+
+    def __repr__(self) -> str:
+        return "ReadOnlyBuffer(%r)" % (bytes(self._data[:16]),)
+
+    def copy(self) -> bytearray:
+        """Explicit copy-on-write: return fresh, writable storage."""
+        return bytearray(self._data)
+
+    def raw(self) -> memoryview:
+        """A read-only memoryview of the underlying bytes (zero copy)."""
+        return memoryview(self._data).toreadonly()
+
+    # -- rejected mutations ---------------------------------------------
+
+    def _reject(self, operation: str):
+        raise ReadOnlyViolation(
+            "cannot %s a READONLY packet buffer; make an explicit copy first "
+            "(paper sec. 3.4)" % operation)
+
+    def __setitem__(self, index, value) -> None:
+        self._reject("assign into")
+
+    def __delitem__(self, index) -> None:
+        self._reject("delete from")
+
+    def __iadd__(self, other):
+        self._reject("extend")
+
+    def append(self, value) -> None:
+        self._reject("append to")
+
+    def extend(self, values) -> None:
+        self._reject("extend")
+
+    def insert(self, index, value) -> None:
+        self._reject("insert into")
+
+    def pop(self, index: int = -1) -> None:
+        self._reject("pop from")
+
+    def clear(self) -> None:
+        self._reject("clear")
+
+    def remove(self, value) -> None:
+        self._reject("remove from")
+
+    def reverse(self) -> None:
+        self._reject("reverse")
+
+    def sort(self, **kwargs) -> None:
+        self._reject("sort")
+
+
+def readonly(data: Union[bytes, bytearray, memoryview, ReadOnlyBuffer]) -> ReadOnlyBuffer:
+    """Wrap ``data`` as READONLY (idempotent)."""
+    if isinstance(data, ReadOnlyBuffer):
+        return data
+    return ReadOnlyBuffer(data)

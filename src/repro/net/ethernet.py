@@ -1,0 +1,87 @@
+"""Ethernet layer: framing, demultiplexing entry point.
+
+``EthernetProto`` is the bottom node of the protocol graph for Ethernet
+worlds (paper Figure 1).  Its ``input`` runs at interrupt level and hands
+the *full frame* (header included) upward through the ``upcall`` hook --
+under Plexus that hook raises the ``Ethernet.PacketRecv`` event whose
+guards VIEW the header exactly as Figure 2 shows; under the UNIX model it
+is a direct call into the demux switch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..hw.nic import NIC
+from ..lang.view import VIEW, TypedView
+from ..spin.mbuf import Mbuf
+from .headers import ETHERNET_HEADER, ETHER_BROADCAST
+
+__all__ = ["EthernetProto"]
+
+
+class EthernetProto:
+    """Ethernet framing bound to one NIC."""
+
+    HEADER_LEN = ETHERNET_HEADER.size  # 14
+
+    def __init__(self, host, nic: NIC):
+        self.host = host
+        self.nic = nic
+        #: set by the OS glue: fn(nic, mbuf) with the mbuf at the frame start
+        self.upcall: Optional[Callable] = None
+        self.frames_in = 0
+        self.frames_out = 0
+
+    @property
+    def mtu(self) -> int:
+        return self.nic.mtu
+
+    @property
+    def address(self) -> bytes:
+        return self.nic.address
+
+    # -- send path ------------------------------------------------------
+
+    def output(self, m: Mbuf, dst_mac: bytes, ethertype: int) -> bool:
+        """Frame ``m`` and hand it to the device (plain code)."""
+        if len(dst_mac) != 6:
+            raise ValueError("destination MAC must be 6 bytes")
+        self.host.cpu.charge(self.host.costs.ethernet_output, "protocol")
+        header = bytearray(self.HEADER_LEN)
+        view = VIEW(header, ETHERNET_HEADER)
+        view.dst = dst_mac
+        view.src = self.nic.address
+        view.type = ethertype
+        m = m.prepend(header)
+        self.frames_out += 1
+        return self.nic.stage_tx(m.to_bytes(), dst_mac)
+
+    def broadcast(self, m: Mbuf, ethertype: int) -> bool:
+        return self.output(m, ETHER_BROADCAST, ethertype)
+
+    # -- receive path ---------------------------------------------------------
+
+    def input(self, nic: NIC, frame_data: bytes) -> None:
+        """Device receive entry (plain code, interrupt context)."""
+        if len(frame_data) < self.HEADER_LEN:
+            return  # runt frame
+        self.host.cpu.charge(self.host.costs.ethernet_input, "protocol")
+        m = self.host.mbufs.from_bytes(frame_data, leading_space=0, rcvif=nic)
+        m.pkthdr.timestamp = self.host.engine.now
+        self.frames_in += 1
+        if self.upcall is not None:
+            self.upcall(nic, m)
+
+    # -- helpers ---------------------------------------------------------------
+
+    @staticmethod
+    def header(m: Mbuf) -> TypedView:
+        """VIEW the Ethernet header of a frame-positioned mbuf (zero copy)."""
+        return VIEW(m.data, ETHERNET_HEADER)
+
+    @staticmethod
+    def strip(m: Mbuf) -> Mbuf:
+        """Remove the Ethernet header (the packet must be writable)."""
+        m.adj(EthernetProto.HEADER_LEN)
+        return m

@@ -1,0 +1,327 @@
+"""IPv4: header construction, checksums, fragmentation, reassembly.
+
+One :class:`IpProto` instance binds a host to one link adapter (every
+experiment in the paper exercises one device at a time).  The ``upcall``
+hook delivers ``(protocol, mbuf, payload_offset, src, dst)`` upward; under
+Plexus that raises ``IP.PacketRecv`` events (guards demux to UDP/TCP per
+Figure 1), under the UNIX model it is the classic protosw switch.
+
+Fragmentation and reassembly are real: packets larger than the link MTU
+are split on 8-byte boundaries and reassembled at the receiver with a
+timeout, so the stack works for datagrams up to 64 KB over any device.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..lang.view import VIEW, TypedView
+from ..spin.mbuf import Mbuf
+from .checksum import charged_checksum
+from .headers import IP_HEADER, ip_ntoa
+
+__all__ = ["IpProto", "IP_BROADCAST"]
+
+IP_BROADCAST = 0xFFFFFFFF
+_FLAG_DF = 0x4000
+_FLAG_MF = 0x2000
+_OFFSET_MASK = 0x1FFF
+
+
+class _Reassembly:
+    """State for one in-progress datagram reassembly."""
+
+    __slots__ = ("fragments", "total_length", "started_at")
+
+    def __init__(self, started_at: float):
+        self.fragments: Dict[int, bytes] = {}  # offset -> payload bytes
+        self.total_length: Optional[int] = None
+        self.started_at = started_at
+
+    def add(self, offset: int, payload: bytes, last: bool) -> Optional[bytes]:
+        self.fragments[offset] = payload
+        if last:
+            self.total_length = offset + len(payload)
+        if self.total_length is None:
+            return None
+        # Check contiguity.
+        cursor = 0
+        parts: List[bytes] = []
+        while cursor < self.total_length:
+            part = self.fragments.get(cursor)
+            if part is None:
+                return None
+            parts.append(part)
+            cursor += len(part)
+        return b"".join(parts)[:self.total_length]
+
+
+class IpProto:
+    """IPv4 bound to one host and one link adapter."""
+
+    HEADER_LEN = IP_HEADER.size  # 20
+    DEFAULT_TTL = 64
+    REASSEMBLY_TIMEOUT_US = 30_000_000.0  # 30 s, per RFC 791 spirit
+
+    def __init__(self, host, my_ip: int, lower):
+        self.host = host
+        self.my_ip = my_ip
+        self.lower = lower  # .mtu, .send(mbuf, next_hop_ip)
+        #: set by OS glue: fn(protocol, m, payload_off, src, dst)
+        self.upcall: Optional[Callable] = None
+        #: longest-prefix routes: (network, prefix_len, adapter, gateway)
+        self.routes: List[Tuple[int, int, object, Optional[int]]] = []
+        #: True on routers: packets not for us are forwarded, not dropped
+        self.forwarding = False
+        self._ident = 0
+        self._groups: Set[int] = set()
+        self._aliases: Set[int] = set()
+        self._reassembly: Dict[Tuple[int, int, int], _Reassembly] = {}
+        self.packets_in = 0
+        self.packets_out = 0
+        self.fragments_out = 0
+        self.fragments_in = 0
+        self.reassembled = 0
+        self.header_errors = 0
+        self.not_for_us = 0
+        self.forwarded = 0
+        self.ttl_expired = 0
+
+    # -- configuration ----------------------------------------------------
+
+    def join_group(self, group: int) -> None:
+        """Join an IP multicast group (class D)."""
+        if (group >> 28) != 0xE:
+            raise ValueError("%s is not a class-D multicast address" % ip_ntoa(group))
+        self._groups.add(group)
+
+    def leave_group(self, group: int) -> None:
+        self._groups.discard(group)
+
+    def add_alias(self, address: int) -> None:
+        """Accept ``address`` as our own (virtual-IP service hosting)."""
+        self._aliases.add(address)
+
+    def remove_alias(self, address: int) -> None:
+        self._aliases.discard(address)
+
+    def add_route(self, network: int, prefix_len: int, adapter=None,
+                  gateway: Optional[int] = None) -> None:
+        """Install a route: ``dst`` in network/prefix -> adapter[, gateway].
+
+        ``adapter=None`` means this stack's own link.  Routes are matched
+        longest-prefix-first; with no match the destination is assumed
+        on-link (the single-subnet default of the paper's testbeds).
+        """
+        if not 0 <= prefix_len <= 32:
+            raise ValueError("prefix length must be 0..32")
+        self.routes.append((network, prefix_len,
+                            adapter if adapter is not None else self.lower,
+                            gateway))
+        self.routes.sort(key=lambda route: -route[1])
+
+    def route_for(self, dst: int):
+        """(adapter, next_hop) for ``dst``."""
+        for network, prefix_len, adapter, gateway in self.routes:
+            mask = 0 if prefix_len == 0 else \
+                (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+            if (dst & mask) == (network & mask):
+                return adapter, (gateway if gateway is not None else dst)
+        return self.lower, dst
+
+    def accepts(self, dst: int) -> bool:
+        return (dst in (self.my_ip, IP_BROADCAST) or dst in self._groups
+                or dst in self._aliases)
+
+    # -- send path -----------------------------------------------------------
+
+    def output(self, m: Mbuf, dst: int, protocol: int,
+               src: Optional[int] = None, ttl: int = DEFAULT_TTL,
+               dont_fragment: bool = False) -> None:
+        """Send payload chain ``m`` to ``dst`` (plain code)."""
+        self.host.cpu.charge(self.host.costs.ip_output, "protocol")
+        src = self.my_ip if src is None else src
+        self._ident = (self._ident + 1) & 0xFFFF
+        ident = self._ident
+        payload_len = m.length()
+        adapter, next_hop = self.route_for(dst)
+        mtu_payload = adapter.mtu - self.HEADER_LEN
+        self.packets_out += 1
+        if payload_len + self.HEADER_LEN <= adapter.mtu:
+            packet = self._prepend_header(m, src, dst, protocol, ident, ttl,
+                                          frag_field=(_FLAG_DF if dont_fragment else 0))
+            adapter.send(packet, next_hop)
+            return
+        if dont_fragment:
+            raise ValueError(
+                "packet of %d bytes needs fragmentation but DF is set" % payload_len)
+        # Fragment on 8-byte boundaries.
+        chunk = (mtu_payload // 8) * 8
+        data = m.to_bytes()
+        offset = 0
+        while offset < len(data):
+            part = data[offset:offset + chunk]
+            last = offset + len(part) >= len(data)
+            frag_field = (offset // 8) & _OFFSET_MASK
+            if not last:
+                frag_field |= _FLAG_MF
+            frag_m = self.host.mbufs.from_bytes(part, leading_space=64)
+            packet = self._prepend_header(frag_m, src, dst, protocol, ident, ttl,
+                                          frag_field=frag_field)
+            self.fragments_out += 1
+            adapter.send(packet, next_hop)
+            offset += len(part)
+
+    def _prepend_header(self, m: Mbuf, src: int, dst: int, protocol: int,
+                        ident: int, ttl: int, frag_field: int) -> Mbuf:
+        header = bytearray(self.HEADER_LEN)
+        view = VIEW(header, IP_HEADER)
+        view.vhl = 0x45
+        view.tos = 0
+        view.total_length = self.HEADER_LEN + m.length()
+        view.ident = ident
+        view.frag_off = frag_field
+        view.ttl = ttl
+        view.protocol = protocol
+        view.checksum = 0
+        view.src = src
+        view.dst = dst
+        view.checksum = charged_checksum(self.host, header, category="checksum")
+        return m.prepend(header)
+
+    # -- receive path -------------------------------------------------------------
+
+    def input(self, m: Mbuf, off: int) -> None:
+        """Process a received packet whose IP header is at ``off``."""
+        self.host.cpu.charge(self.host.costs.ip_input, "protocol")
+        data = m.data
+        if len(data) < off + self.HEADER_LEN:
+            self.header_errors += 1
+            return
+        view = VIEW(data, IP_HEADER, offset=off)
+        if (view.vhl >> 4) != 4 or (view.vhl & 0xF) != 5:
+            self.header_errors += 1
+            return
+        header_bytes = bytes(data[off:off + self.HEADER_LEN])
+        if charged_checksum(self.host, header_bytes) != 0:
+            self.header_errors += 1
+            return
+        dst = view.dst
+        if not self.accepts(dst):
+            if self.forwarding:
+                self._forward(m, off, view)
+            else:
+                self.not_for_us += 1
+            return
+        self.packets_in += 1
+        src = view.src
+        protocol = view.protocol
+        total = view.total_length
+        payload_off = off + self.HEADER_LEN
+        payload_len = total - self.HEADER_LEN
+        frag = view.frag_off
+        frag_offset = (frag & _OFFSET_MASK) * 8
+        more = bool(frag & _FLAG_MF)
+        if frag_offset == 0 and not more:
+            if self.upcall is not None:
+                self.upcall(protocol, m, payload_off, src, dst)
+            return
+        self._input_fragment(m, payload_off, payload_len, src, dst, protocol,
+                             view.ident, frag_offset, more)
+
+    def _input_fragment(self, m: Mbuf, payload_off: int, payload_len: int,
+                        src: int, dst: int, protocol: int, ident: int,
+                        frag_offset: int, more: bool) -> None:
+        self.fragments_in += 1
+        self._expire_reassembly()
+        key = (src, ident, protocol)
+        state = self._reassembly.get(key)
+        if state is None:
+            state = _Reassembly(self.host.engine.now)
+            self._reassembly[key] = state
+        payload = m.to_bytes()[payload_off:payload_off + payload_len]
+        whole = state.add(frag_offset, payload, last=not more)
+        if whole is None:
+            return
+        del self._reassembly[key]
+        self.reassembled += 1
+        # Reassembly copies fragment payloads into one buffer: charge it.
+        self.host.cpu.charge(len(whole) * self.host.costs.copy_per_byte, "copy")
+        datagram = self.host.mbufs.from_bytes(whole, leading_space=0)
+        if m.frozen:
+            datagram.freeze()
+        if self.upcall is not None:
+            self.upcall(protocol, datagram, 0, src, dst)
+
+    def _forward(self, m: Mbuf, off: int, view: TypedView) -> None:
+        """Router path: decrement TTL, re-checksum, emit toward dst.
+
+        Packets larger than the outbound MTU are fragmented here (RFC 791
+        router behaviour), unless DF is set, in which case they are
+        dropped (the too-big ICMP is elided).
+        """
+        if view.ttl <= 1:
+            self.ttl_expired += 1
+            # ICMP time-exceeded back to the source (type 11).
+            if self.time_exceeded_hook is not None:
+                self.time_exceeded_hook(m, off, view.src)
+            return
+        # The packet may be READONLY (Plexus receive path): patch a copy.
+        packet = bytearray(m.to_bytes()[off:])
+        packet[8] -= 1          # TTL
+        adapter, next_hop = self.route_for(view.dst)
+        self.host.cpu.charge(self.host.costs.ip_output, "protocol")
+        self.forwarded += 1
+        if len(packet) <= adapter.mtu:
+            self._restamp_and_send(packet, adapter, next_hop)
+            return
+        if packet[6] & 0x40:  # DF set: cannot fragment
+            self.header_errors += 1
+            return
+        self._forward_fragments(packet, adapter, next_hop)
+
+    def _restamp_and_send(self, packet: bytearray, adapter, next_hop: int) -> None:
+        packet[10:12] = b"\x00\x00"
+        checksum = charged_checksum(self.host, packet[:self.HEADER_LEN])
+        packet[10:12] = checksum.to_bytes(2, "big")
+        out = self.host.mbufs.from_bytes(bytes(packet), leading_space=16)
+        adapter.send(out, next_hop)
+
+    def _forward_fragments(self, packet: bytearray, adapter, next_hop: int) -> None:
+        """Split a transit packet for a smaller outbound MTU."""
+        header = bytes(packet[:self.HEADER_LEN])
+        payload = bytes(packet[self.HEADER_LEN:])
+        original_field = int.from_bytes(header[6:8], "big")
+        base_offset = (original_field & _OFFSET_MASK) * 8
+        original_more = bool(original_field & _FLAG_MF)
+        chunk = ((adapter.mtu - self.HEADER_LEN) // 8) * 8
+        cursor = 0
+        while cursor < len(payload):
+            part = payload[cursor:cursor + chunk]
+            last = cursor + len(part) >= len(payload)
+            frag_field = ((base_offset + cursor) // 8) & _OFFSET_MASK
+            if not last or original_more:
+                frag_field |= _FLAG_MF
+            fragment = bytearray(header) + part
+            fragment[2:4] = (self.HEADER_LEN + len(part)).to_bytes(2, "big")
+            fragment[6:8] = frag_field.to_bytes(2, "big")
+            self.fragments_out += 1
+            self._restamp_and_send(fragment, adapter, next_hop)
+            cursor += len(part)
+
+    #: routers may set this to emit ICMP time-exceeded: fn(m, off, src_ip)
+    time_exceeded_hook: Optional[Callable] = None
+
+    def _expire_reassembly(self) -> None:
+        now = self.host.engine.now
+        expired = [key for key, state in self._reassembly.items()
+                   if now - state.started_at > self.REASSEMBLY_TIMEOUT_US]
+        for key in expired:
+            del self._reassembly[key]
+
+    # -- helpers ----------------------------------------------------------------------
+
+    @staticmethod
+    def header(m: Mbuf, off: int = 0) -> TypedView:
+        """VIEW the IP header at ``off`` (zero copy)."""
+        return VIEW(m.data, IP_HEADER, offset=off)

@@ -1,0 +1,87 @@
+"""Link adapters: the interface IP uses to reach a medium.
+
+IP sees one narrow "lower layer" surface -- :attr:`mtu` plus
+``send(mbuf, next_hop_ip)`` -- with two implementations:
+
+* :class:`EthernetAdapter` -- resolves the next hop with ARP and frames
+  with Ethernet headers (the paper's Ethernet world),
+* :class:`RawLinkProto` -- for the ATM and T3 devices, where there is no
+  broadcast medium: a static neighbor table maps IP addresses to link
+  addresses and frames carry the IP packet directly (the Fore interface's
+  AAL5 encapsulation cost is modeled in the NIC's ``wire_bytes``).
+
+``RawLinkProto`` doubles as the bottom protocol-graph node for those
+devices, with the same ``upcall`` hook shape as ``EthernetProto``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..hw.nic import NIC
+from ..spin.mbuf import Mbuf
+from .arp import ArpProto
+from .ethernet import EthernetProto
+from .headers import ETHERTYPE_IP, ip_ntoa
+
+__all__ = ["EthernetAdapter", "RawLinkProto"]
+
+
+class EthernetAdapter:
+    """IP-over-Ethernet: ARP resolution + Ethernet framing."""
+
+    def __init__(self, ethernet: EthernetProto, arp: ArpProto):
+        self.ethernet = ethernet
+        self.arp = arp
+
+    @property
+    def mtu(self) -> int:
+        return self.ethernet.mtu
+
+    def send(self, m: Mbuf, next_hop: int) -> None:
+        self.arp.resolve_and_send(m, next_hop, ETHERTYPE_IP)
+
+
+class RawLinkProto:
+    """Direct IP-over-link for point-to-point / switched media (ATM, T3)."""
+
+    def __init__(self, host, nic: NIC, neighbors: Optional[Dict[int, object]] = None):
+        self.host = host
+        self.nic = nic
+        self.neighbors: Dict[int, object] = dict(neighbors or {})
+        #: set by the OS glue: fn(nic, mbuf) with the mbuf at the IP header
+        self.upcall: Optional[Callable] = None
+        self.frames_in = 0
+        self.frames_out = 0
+
+    @property
+    def mtu(self) -> int:
+        return self.nic.mtu
+
+    def add_neighbor(self, ip: int, link_addr) -> None:
+        self.neighbors[ip] = link_addr
+
+    def send(self, m: Mbuf, next_hop: int) -> None:
+        """IP hand-off (plain code)."""
+        link_addr = self.neighbors.get(next_hop)
+        if link_addr is None:
+            raise KeyError(
+                "no neighbor entry for %s on %s" % (ip_ntoa(next_hop), self.nic.name))
+        self.host.cpu.charge(self.host.costs.ethernet_output, "protocol")
+        self.frames_out += 1
+        self.nic.stage_tx(m.to_bytes(), link_addr)
+
+    # Alias so RawLinkProto can serve as a graph node like EthernetProto.
+    def output(self, m: Mbuf, link_addr, _ethertype: int = ETHERTYPE_IP) -> bool:
+        self.host.cpu.charge(self.host.costs.ethernet_output, "protocol")
+        self.frames_out += 1
+        return self.nic.stage_tx(m.to_bytes(), link_addr)
+
+    def input(self, nic: NIC, frame_data: bytes) -> None:
+        """Device receive entry (plain code, interrupt context)."""
+        self.host.cpu.charge(self.host.costs.ethernet_input, "protocol")
+        m = self.host.mbufs.from_bytes(frame_data, leading_space=0, rcvif=nic)
+        m.pkthdr.timestamp = self.host.engine.now
+        self.frames_in += 1
+        if self.upcall is not None:
+            self.upcall(nic, m)

@@ -1,0 +1,15 @@
+"""TCP: a real sliding-window transport over the simulated stack."""
+
+from .protocol import TcpListener, TcpProto
+from .tcb import Tcb, TcpSegment, TcpState, seq_add, seq_lt, seq_sub
+
+__all__ = [
+    "Tcb",
+    "TcpListener",
+    "TcpProto",
+    "TcpSegment",
+    "TcpState",
+    "seq_add",
+    "seq_lt",
+    "seq_sub",
+]

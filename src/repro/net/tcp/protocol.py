@@ -1,0 +1,238 @@
+"""TCP protocol entry: segment wire format, demux, listeners.
+
+One :class:`TcpProto` instance is one TCP *implementation* in the sense of
+paper section 3.1 ("Multiple protocol implementations"): several instances
+can coexist on one host, each fed by a guard that claims part of the port
+space (``TCP-standard`` vs ``TCP-special`` in the paper's example).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from ...lang.view import VIEW
+from ...spin.mbuf import Mbuf
+from ..checksum import charged_checksum
+from ..headers import IPPROTO_TCP, TCP_HEADER, pseudo_header
+from ..ip import IpProto
+from .tcb import ACK, RST, SYN, Tcb, TcpSegment
+
+__all__ = ["TcpProto", "TcpListener"]
+
+ConnKey = Tuple[int, int, int, int]  # laddr, lport, raddr, rport
+
+
+class TcpListener:
+    """A passive endpoint accepting connections on one local port."""
+
+    def __init__(self, proto: "TcpProto", lport: int,
+                 on_accept: Callable[[Tcb], None], backlog: int = 8):
+        self.proto = proto
+        self.lport = lport
+        self.on_accept = on_accept
+        self.backlog = backlog
+        self.pending = 0
+        self.accepted = 0
+        self.closed = False
+
+    def close(self) -> None:
+        self.closed = True
+        self.proto.listeners.pop(self.lport, None)
+
+    def _child_established(self, tcb: Tcb) -> None:
+        self.pending -= 1
+        self.accepted += 1
+        if self.on_accept is not None:
+            self.on_accept(tcb)
+
+
+class TcpProto:
+    """TCP bound to one IP instance."""
+
+    HEADER_LEN = TCP_HEADER.size  # 20
+    EPHEMERAL_BASE = 32768
+
+    def __init__(self, host, ip: IpProto, name: str = "tcp"):
+        self.host = host
+        self.ip = ip
+        self.name = name
+        self.default_mss = max(512, ip.lower.mtu - 40)
+        self.connections: Dict[ConnKey, Tcb] = {}
+        self.listeners: Dict[int, TcpListener] = {}
+        self._iss = 1000
+        self._next_ephemeral = self.EPHEMERAL_BASE
+        self.segments_in = 0
+        self.segments_out = 0
+        self.checksum_errors = 0
+        self.resets_sent = 0
+        self.no_listener = 0
+
+    # -- connection management ---------------------------------------------
+
+    def next_iss(self) -> int:
+        self._iss = (self._iss + 64_000) & 0xFFFFFFFF
+        return self._iss
+
+    def allocate_port(self) -> int:
+        for _ in range(0xFFFF - self.EPHEMERAL_BASE):
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral > 0xFFFF:
+                self._next_ephemeral = self.EPHEMERAL_BASE
+            if port not in self.listeners and not any(
+                    key[1] == port for key in self.connections):
+                return port
+        raise RuntimeError("out of ephemeral ports")
+
+    def connect(self, raddr: int, rport: int,
+                lport: Optional[int] = None) -> Tcb:
+        """Active open (plain code; kernel context)."""
+        lport = lport or self.allocate_port()
+        key = (self.ip.my_ip, lport, raddr, rport)
+        if key in self.connections:
+            raise RuntimeError("connection %r already exists" % (key,))
+        tcb = Tcb(self, self.ip.my_ip, lport, raddr, rport)
+        self.connections[key] = tcb
+        tcb.connect()
+        return tcb
+
+    def listen(self, lport: int, on_accept: Callable[[Tcb], None],
+               backlog: int = 8) -> TcpListener:
+        if lport in self.listeners:
+            raise RuntimeError("port %d already has a listener" % lport)
+        listener = TcpListener(self, lport, on_accept, backlog)
+        self.listeners[lport] = listener
+        return listener
+
+    def forget(self, tcb: Tcb) -> None:
+        self.connections.pop((tcb.laddr, tcb.lport, tcb.raddr, tcb.rport), None)
+
+    # -- segment emission --------------------------------------------------------
+
+    def send_segment(self, tcb: Tcb, seq: int, ack: int, flags: int,
+                     window: int, payload: bytes) -> None:
+        """Build and transmit one segment (plain code).
+
+        SYN segments carry the MSS option (RFC 879), so endpoints with
+        different link MTUs converge on the smaller maximum.
+        """
+        self.host.cpu.charge(self.host.costs.tcp_output, "protocol")
+        options = b""
+        if flags & 0x02:  # SYN: advertise our MSS
+            options = bytes([2, 4]) + self.default_mss.to_bytes(2, "big")
+        header_len = self.HEADER_LEN + len(options)
+        header = bytearray(header_len)
+        view = VIEW(header, TCP_HEADER)
+        view.src_port = tcb.lport
+        view.dst_port = tcb.rport
+        view.seq = seq
+        view.ack = ack
+        view.off_flags = ((header_len // 4) << 12) | flags
+        view.window = min(window, 0xFFFF)
+        view.checksum = 0
+        view.urgent = 0
+        header[self.HEADER_LEN:] = options
+        length = header_len + len(payload)
+        pseudo = pseudo_header(tcb.laddr, tcb.raddr, IPPROTO_TCP, length)
+        view.checksum = charged_checksum(
+            self.host, pseudo + bytes(header) + payload)
+        m = self.host.mbufs.from_bytes(bytes(header) + payload, leading_space=64)
+        self.segments_out += 1
+        self.ip.output(m, tcb.raddr, IPPROTO_TCP, src=tcb.laddr)
+
+    @staticmethod
+    def _parse_mss_option(options: bytes):
+        """Scan TCP options for the MSS value (kind 2)."""
+        index = 0
+        while index < len(options):
+            kind = options[index]
+            if kind == 0:       # end of options
+                return None
+            if kind == 1:       # no-op
+                index += 1
+                continue
+            if index + 1 >= len(options):
+                return None
+            length = options[index + 1]
+            if length < 2 or index + length > len(options):
+                return None     # malformed: ignore the rest
+            if kind == 2 and length == 4:
+                return int.from_bytes(options[index + 2:index + 4], "big")
+            index += length
+        return None
+
+    def _send_rst(self, src_ip: int, src_port: int, dst_ip: int, dst_port: int,
+                  seq: int, ack: int, with_ack: bool) -> None:
+        self.host.cpu.charge(self.host.costs.tcp_output, "protocol")
+        self.resets_sent += 1
+        header = bytearray(self.HEADER_LEN)
+        view = VIEW(header, TCP_HEADER)
+        view.src_port = dst_port
+        view.dst_port = src_port
+        view.seq = seq
+        view.ack = ack
+        view.off_flags = (5 << 12) | RST | (ACK if with_ack else 0)
+        view.window = 0
+        view.checksum = 0
+        view.urgent = 0
+        pseudo = pseudo_header(dst_ip, src_ip, IPPROTO_TCP, self.HEADER_LEN)
+        view.checksum = charged_checksum(self.host, pseudo + bytes(header))
+        m = self.host.mbufs.from_bytes(bytes(header), leading_space=64)
+        self.ip.output(m, src_ip, IPPROTO_TCP, src=dst_ip)
+
+    # -- segment input ---------------------------------------------------------------
+
+    def input(self, m: Mbuf, off: int, src_ip: int, dst_ip: int) -> None:
+        """Process a segment whose TCP header is at ``off`` (plain code)."""
+        self.host.cpu.charge(self.host.costs.tcp_input, "protocol")
+        data = m.data
+        if len(data) < off + self.HEADER_LEN:
+            return
+        segment_bytes = m.to_bytes()[off:]
+        pseudo = pseudo_header(src_ip, dst_ip, IPPROTO_TCP, len(segment_bytes))
+        if charged_checksum(self.host, pseudo + segment_bytes) != 0:
+            self.checksum_errors += 1
+            return
+        view = VIEW(data, TCP_HEADER, offset=off)
+        data_off = (view.off_flags >> 12) * 4
+        flags = view.off_flags & 0x3F
+        payload = segment_bytes[data_off:]
+        mss = None
+        if data_off > self.HEADER_LEN:
+            mss = self._parse_mss_option(
+                segment_bytes[self.HEADER_LEN:data_off])
+        self.segments_in += 1
+        seg = TcpSegment(view.seq, view.ack, flags, view.window, payload,
+                         mss=mss)
+        src_port, dst_port = view.src_port, view.dst_port
+
+        key = (dst_ip, dst_port, src_ip, src_port)
+        tcb = self.connections.get(key)
+        if tcb is not None:
+            tcb.input(seg)
+            return
+
+        listener = self.listeners.get(dst_port)
+        if listener is not None and not listener.closed and (flags & SYN) and \
+                not (flags & ACK):
+            if listener.pending >= listener.backlog:
+                return  # silently drop: SYN will be retransmitted
+            child = Tcb(self, dst_ip, dst_port, src_ip, src_port, passive=True)
+            self.connections[key] = child
+            listener.pending += 1
+            child.on_established = (
+                lambda lst=listener, c=child: lst._child_established(c))
+            child.accept_syn(seg)
+            return
+
+        # No connection, no listener: RST (unless the segment was a RST).
+        self.no_listener += 1
+        if flags & RST:
+            return
+        if flags & ACK:
+            self._send_rst(src_ip, src_port, dst_ip, dst_port,
+                           seq=seg.ack, ack=0, with_ack=False)
+        else:
+            from .tcb import seq_add
+            self._send_rst(src_ip, src_port, dst_ip, dst_port, seq=0,
+                           ack=seq_add(seg.seq, len(payload) + 1), with_ack=True)

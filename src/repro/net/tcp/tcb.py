@@ -1,0 +1,794 @@
+"""The TCP control block: state machine, windows, congestion control.
+
+A faithful (if compact) TCP: three-way handshake, sliding window with
+receiver flow control, slow start, congestion avoidance, fast retransmit
+on three duplicate ACKs, RTO estimation (Jacobson/Karn), delayed ACKs,
+zero-window probing, and the full close sequence including TIME_WAIT.
+
+The paper's forwarding experiment (section 5.2) hinges on this being a
+*real* protocol: the user-level splice forwarder breaks end-to-end TCP
+semantics (window negotiation, slow start, connection teardown) precisely
+because these mechanisms exist, while the in-kernel Plexus forwarder
+preserves them by redirecting segments below the transport layer.
+
+All TCB entry points are plain code: they must be called inside a kernel
+execution context (a ``host.kernel_path``), and they charge their CPU
+costs to it.  Timers re-enter through kernel paths of their own.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, Optional
+
+__all__ = ["Tcb", "TcpState", "TcpSegment"]
+
+# Sequence-number modular arithmetic helpers.
+_MOD = 1 << 32
+
+
+def seq_lt(a: int, b: int) -> bool:
+    return ((a - b) & (_MOD - 1)) > (_MOD >> 1)
+
+
+def seq_le(a: int, b: int) -> bool:
+    return a == b or seq_lt(a, b)
+
+
+def seq_add(a: int, n: int) -> int:
+    return (a + n) & (_MOD - 1)
+
+
+def seq_sub(a: int, b: int) -> int:
+    """a - b interpreted as a small signed distance."""
+    diff = (a - b) & (_MOD - 1)
+    if diff > (_MOD >> 1):
+        diff -= _MOD
+    return diff
+
+
+class TcpState(enum.Enum):
+    CLOSED = "CLOSED"
+    LISTEN = "LISTEN"
+    SYN_SENT = "SYN_SENT"
+    SYN_RCVD = "SYN_RCVD"
+    ESTABLISHED = "ESTABLISHED"
+    FIN_WAIT_1 = "FIN_WAIT_1"
+    FIN_WAIT_2 = "FIN_WAIT_2"
+    CLOSE_WAIT = "CLOSE_WAIT"
+    CLOSING = "CLOSING"
+    LAST_ACK = "LAST_ACK"
+    TIME_WAIT = "TIME_WAIT"
+
+
+class TcpSegment:
+    """A parsed inbound segment (protocol.py fills this in)."""
+
+    __slots__ = ("seq", "ack", "flags", "window", "payload", "mss")
+
+    def __init__(self, seq: int, ack: int, flags: int, window: int,
+                 payload: bytes, mss: Optional[int] = None):
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.window = window
+        self.payload = payload
+        self.mss = mss  # from the MSS option on SYN segments
+
+
+# Flag bits (mirrors headers.py; duplicated to keep this module standalone).
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+
+
+class Tcb:
+    """One TCP connection."""
+
+    DEFAULT_BUF = 64 * 1024
+    INITIAL_RTO_US = 50_000.0     # 50 ms before the first RTT sample
+    MIN_RTO_US = 10_000.0         # floor: covers delayed ACKs on big-MTU paths
+    MAX_RTO_US = 640_000.0
+    MSL_US = 500_000.0            # TIME_WAIT = 2*MSL = 1 s simulated
+    DELAYED_ACK_US = 1_000.0
+    PERSIST_US = 5_000.0
+    MAX_RETRANSMITS = 8           # consecutive timeouts before giving up
+    KEEPALIVE_PROBES = 3          # unanswered probes before reset
+
+    def __init__(self, proto, laddr: int, lport: int, raddr: int, rport: int,
+                 passive: bool = False):
+        self.proto = proto
+        self.host = proto.host
+        self.laddr = laddr
+        self.lport = lport
+        self.raddr = raddr
+        self.rport = rport
+        self.passive = passive
+        self.state = TcpState.LISTEN if passive else TcpState.CLOSED
+        self.mss = proto.default_mss
+
+        # Send side.
+        self.iss = proto.next_iss()
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss
+        self.snd_wnd = self.mss  # until the peer advertises
+        self.snd_buf = bytearray()
+        self.snd_buf_limit = self.DEFAULT_BUF
+        #: False = Nagle's algorithm (coalesce small writes while data is
+        #: in flight); True = send immediately (TCP_NODELAY).
+        self.nodelay = False
+        self.fin_queued = False
+        self.fin_sent_seq: Optional[int] = None
+
+        # Receive side.
+        self.irs = 0
+        self.rcv_nxt = 0
+        self.rcv_buf_limit = self.DEFAULT_BUF
+        self.delivered_unconsumed = 0
+        self.auto_consume = True
+        self._reass: Dict[int, bytes] = {}
+        self._segs_since_ack = 0
+        self._fin_received = False
+        self._advertised_window = self.rcv_buf_limit
+
+        # Congestion control (RFC 5681 shape).
+        self.cwnd = 2 * self.mss
+        self.ssthresh = 64 * 1024
+        self.dupacks = 0
+        self.recover = self.iss
+
+        # RTT estimation (Jacobson; Karn's rule via _rtt_seq).
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = self.INITIAL_RTO_US
+        self._rtt_seq: Optional[int] = None
+        self._rtt_start = 0.0
+        self._rexmt_shift = 0     # consecutive unanswered timeouts
+        self._probe_pending = False  # a persist probe is in flight
+
+        # Timers.
+        self._rexmt_timer = None
+        self._delack_timer = None
+        self._persist_timer = None
+        self._timewait_timer = None
+        self._keepalive_timer = None
+        self._keepalive_us: Optional[float] = None
+        self._keepalive_misses = 0
+
+        # Callbacks (invoked in kernel context).
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[bytes], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.on_reset: Optional[Callable[[], None]] = None
+        self.on_sendable: Optional[Callable[[int], None]] = None
+
+        # Statistics.
+        self.segments_sent = 0
+        self.segments_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.retransmits = 0
+        self.fast_retransmits = 0
+
+    # ------------------------------------------------------------------
+    # Public API (plain code; kernel context required)
+    # ------------------------------------------------------------------
+
+    def connect(self) -> None:
+        """Active open: send SYN."""
+        if self.state != TcpState.CLOSED:
+            raise RuntimeError("connect() in state %s" % self.state.value)
+        self.state = TcpState.SYN_SENT
+        self._send_control(SYN, seq=self.iss)
+        self.snd_nxt = seq_add(self.iss, 1)
+        self._rtt_seq = self.iss
+        self._rtt_start = self.host.engine.now
+        self._arm_rexmt()
+
+    def send(self, data: bytes) -> int:
+        """Queue application data; returns the number of bytes accepted."""
+        if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT,
+                              TcpState.SYN_SENT, TcpState.SYN_RCVD):
+            raise RuntimeError("send() in state %s" % self.state.value)
+        space = self.snd_buf_limit - len(self.snd_buf)
+        accepted = min(space, len(data))
+        if accepted > 0:
+            self.snd_buf += data[:accepted]
+            # Copying application data into the send buffer.
+            self.host.cpu.charge(
+                accepted * self.host.costs.copy_per_byte, "copy")
+        if self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+            self._output()
+        return accepted
+
+    @property
+    def send_space(self) -> int:
+        return self.snd_buf_limit - len(self.snd_buf)
+
+    def close(self) -> None:
+        """Orderly release: FIN after all queued data."""
+        if self.state in (TcpState.CLOSED, TcpState.TIME_WAIT):
+            return
+        if self.state in (TcpState.SYN_SENT,):
+            self._enter_closed()
+            return
+        self.fin_queued = True
+        if self.state == TcpState.ESTABLISHED:
+            self.state = TcpState.FIN_WAIT_1
+        elif self.state == TcpState.CLOSE_WAIT:
+            self.state = TcpState.LAST_ACK
+        self._output()
+
+    def abort(self) -> None:
+        """Hard reset."""
+        if self.state not in (TcpState.CLOSED,):
+            self._send_control(RST | ACK, seq=self.snd_nxt)
+        self._enter_closed(notify_reset=False)
+
+    def app_consumed(self, nbytes: int) -> None:
+        """The application drained ``nbytes``; may reopen the window.
+
+        A window-update ACK is sent when the advertisable window has grown
+        by at least two segments (or half the buffer) beyond what the peer
+        last saw -- the classic BSD rule, which keeps a fast sender from
+        stalling into persist probes while the receiver drains.
+        """
+        if nbytes < 0 or nbytes > self.delivered_unconsumed:
+            raise ValueError("app_consumed(%d) with %d outstanding"
+                             % (nbytes, self.delivered_unconsumed))
+        self.delivered_unconsumed -= nbytes
+        window = self._rcv_window()
+        grown = window - self._advertised_window
+        if grown >= min(2 * self.mss, self.rcv_buf_limit // 2) and \
+                self.state in (TcpState.ESTABLISHED, TcpState.FIN_WAIT_1,
+                               TcpState.FIN_WAIT_2):
+            self._send_ack()
+
+    # ------------------------------------------------------------------
+    # Segment input (called by TcpProto with a parsed segment)
+    # ------------------------------------------------------------------
+
+    def enable_keepalive(self, idle_us: float) -> None:
+        """Probe the peer after ``idle_us`` of silence; reset the
+        connection after :data:`KEEPALIVE_PROBES` unanswered probes.
+
+        Lets a server notice a peer that vanished without FIN/RST (a
+        crashed client, a cut wire) -- plain code, kernel context.
+        """
+        if idle_us <= 0:
+            raise ValueError("keepalive interval must be positive")
+        self._keepalive_us = idle_us
+        self._arm_keepalive()
+
+    def _arm_keepalive(self) -> None:
+        if self._keepalive_us is None or self.state == TcpState.CLOSED:
+            return
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.cancel()
+        self._keepalive_timer = self.host.set_timer(
+            self._keepalive_us, self._keepalive_fire, name="tcp-keepalive")
+
+    def _keepalive_fire(self) -> None:
+        self._keepalive_timer = None
+        if self.state != TcpState.ESTABLISHED or self._keepalive_us is None:
+            return
+        self._keepalive_misses += 1
+        if self._keepalive_misses > self.KEEPALIVE_PROBES:
+            self._enter_closed(notify_reset=True)
+            return
+        # The classic probe: a bare ACK with an *old* sequence number,
+        # which a live peer must answer with a duplicate ACK.
+        self.proto.send_segment(self, seq_add(self.snd_nxt, _MOD - 1),
+                                self.rcv_nxt, ACK, self._rcv_window(), b"")
+        self.segments_sent += 1
+        self._arm_keepalive()
+
+    def input(self, seg: TcpSegment) -> None:
+        self.segments_received += 1
+        self._keepalive_misses = 0
+        if self._keepalive_us is not None:
+            self._arm_keepalive()
+        if seg.flags & RST:
+            self._handle_rst(seg)
+            return
+        handler = {
+            TcpState.SYN_SENT: self._input_syn_sent,
+            TcpState.SYN_RCVD: self._input_synchronized,
+            TcpState.ESTABLISHED: self._input_synchronized,
+            TcpState.FIN_WAIT_1: self._input_synchronized,
+            TcpState.FIN_WAIT_2: self._input_synchronized,
+            TcpState.CLOSE_WAIT: self._input_synchronized,
+            TcpState.CLOSING: self._input_synchronized,
+            TcpState.LAST_ACK: self._input_synchronized,
+            TcpState.TIME_WAIT: self._input_time_wait,
+        }.get(self.state)
+        if handler is not None:
+            handler(seg)
+
+    def accept_syn(self, seg: TcpSegment) -> None:
+        """Passive open: a listener routed a SYN to this new TCB."""
+        self.irs = seg.seq
+        self.rcv_nxt = seq_add(seg.seq, 1)
+        self.snd_wnd = seg.window
+        self._negotiate_mss(seg)
+        self.state = TcpState.SYN_RCVD
+        self._send_control(SYN | ACK, seq=self.iss)
+        self.snd_nxt = seq_add(self.iss, 1)
+        self._rtt_seq = self.iss
+        self._rtt_start = self.host.engine.now
+        self._arm_rexmt()
+
+    # -- state handlers -----------------------------------------------------
+
+    def _handle_rst(self, seg: TcpSegment) -> None:
+        # Accept only plausible RSTs (in-window or ACK of our SYN).
+        if self.state == TcpState.SYN_SENT:
+            if not (seg.flags & ACK and seg.ack == self.snd_nxt):
+                return
+        self._enter_closed(notify_reset=True)
+
+    def _input_syn_sent(self, seg: TcpSegment) -> None:
+        if not (seg.flags & SYN):
+            return
+        if seg.flags & ACK and seg.ack != self.snd_nxt:
+            self._send_control(RST, seq=seg.ack)
+            return
+        self.irs = seg.seq
+        self.rcv_nxt = seq_add(seg.seq, 1)
+        self.snd_wnd = seg.window
+        self._negotiate_mss(seg)
+        if seg.flags & ACK:
+            self.snd_una = seg.ack
+            if self._rtt_seq is not None and seq_lt(self._rtt_seq, seg.ack):
+                self._update_rtt(self.host.engine.now - self._rtt_start)
+                self._rtt_seq = None
+            self.state = TcpState.ESTABLISHED
+            self._cancel_rexmt()
+            self._send_ack()
+            self._notify_established()
+            self._output()
+        else:
+            # Simultaneous open.
+            self.state = TcpState.SYN_RCVD
+            self._send_control(SYN | ACK, seq=self.iss)
+
+    def _input_time_wait(self, seg: TcpSegment) -> None:
+        # Re-ACK retransmitted FINs.
+        if seg.flags & FIN:
+            self._send_ack()
+
+    def _input_synchronized(self, seg: TcpSegment) -> None:
+        # -- sequence acceptability / trimming ---------------------------
+        payload = seg.payload
+        seq = seg.seq
+        if seq_lt(seq, self.rcv_nxt):
+            trim = seq_sub(self.rcv_nxt, seq)
+            if trim >= len(payload) and not (seg.flags & (SYN | FIN)):
+                # Entirely old: re-ACK (it may be a keepalive probe or a
+                # duplicate) so the sender learns we are alive and caught up.
+                self._send_ack()
+                if not (seg.flags & ACK):
+                    return
+                payload = b""
+            else:
+                payload = payload[trim:]
+                seq = self.rcv_nxt
+
+        # -- ACK processing ------------------------------------------------
+        if seg.flags & ACK:
+            self._process_ack(seg)
+
+        if self.state == TcpState.CLOSED:
+            return
+
+        # -- window update ---------------------------------------------------
+        self.snd_wnd = seg.window
+        if self._probe_pending and self.snd_wnd > 0:
+            # The zero window opened: pull snd_nxt back over the probe
+            # bytes so normal output resends cleanly from the left edge
+            # (BSD's snd_nxt pullback after persist).
+            self._probe_pending = False
+            if self._persist_timer is not None:
+                self._persist_timer.cancel()
+                self._persist_timer = None
+            if seq_lt(self.snd_una, self.snd_nxt):
+                self.snd_nxt = max(self.snd_una, seg.ack,
+                                   key=lambda v: seq_sub(v, self.snd_una))
+
+        # -- data ----------------------------------------------------------
+        if payload:
+            self._process_data(seq, payload)
+
+        # -- FIN ------------------------------------------------------------
+        if seg.flags & FIN:
+            fin_seq = seq_add(seg.seq, len(seg.payload))
+            self._process_fin(fin_seq)
+
+        # Try to move queued data out (window may have opened).
+        if self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT,
+                          TcpState.FIN_WAIT_1, TcpState.CLOSING,
+                          TcpState.LAST_ACK):
+            self._output()
+
+    def _negotiate_mss(self, seg: TcpSegment) -> None:
+        """Clamp our MSS to the peer's advertised maximum (RFC 879)."""
+        if seg.mss is not None and seg.mss < self.mss:
+            self.mss = max(64, seg.mss)
+            # Congestion state is expressed in MSS units; re-base it.
+            self.cwnd = min(self.cwnd, 2 * self.mss)
+
+    # -- ACK machinery ---------------------------------------------------------
+
+    def _process_ack(self, seg: TcpSegment) -> None:
+        ack = seg.ack
+        if seq_lt(self.snd_nxt, ack):
+            # ACK for data we never sent.
+            self._send_ack()
+            return
+        if seq_le(ack, self.snd_una):
+            # Duplicate ACK?
+            if len(seg.payload) == 0 and not (seg.flags & (SYN | FIN)) and \
+                    ack == self.snd_una and self._flight() > 0:
+                self.dupacks += 1
+                if self.dupacks == 3:
+                    self._fast_retransmit()
+                elif self.dupacks > 3:
+                    self.cwnd += self.mss  # fast recovery inflation
+                    self._output()
+            return
+
+        # New data acknowledged.
+        self._rexmt_shift = 0
+        acked = seq_sub(ack, self.snd_una)
+        in_recovery = self.dupacks >= 3
+        self.dupacks = 0
+
+        # Handshake ACK consumes the SYN sequence slot.
+        if self.state == TcpState.SYN_RCVD:
+            self.state = TcpState.ESTABLISHED
+            self._notify_established()
+
+        # Remove acked bytes from the send buffer (SYN/FIN occupy sequence
+        # space but not buffer space).
+        buffered_acked = acked
+        if seq_lt(self.snd_una, seq_add(self.iss, 1)):
+            buffered_acked -= 1  # the SYN
+        if self.fin_sent_seq is not None and seq_lt(self.fin_sent_seq, ack):
+            buffered_acked -= 1  # the FIN
+        buffered_acked = max(0, min(buffered_acked, len(self.snd_buf)))
+        if buffered_acked:
+            del self.snd_buf[:buffered_acked]
+        self.snd_una = ack
+
+        # RTT sampling (Karn: only segments never retransmitted).
+        if self._rtt_seq is not None and seq_lt(self._rtt_seq, ack):
+            self._update_rtt(self.host.engine.now - self._rtt_start)
+            self._rtt_seq = None
+
+        # Congestion window growth.
+        if in_recovery:
+            self.cwnd = self.ssthresh  # deflate after recovery
+        elif self.cwnd < self.ssthresh:
+            self.cwnd += min(acked, self.mss)          # slow start
+        else:
+            self.cwnd += max(1, self.mss * self.mss // self.cwnd)  # CA
+
+        # Retransmission timer.
+        if self.snd_una == self.snd_nxt:
+            self._cancel_rexmt()
+        else:
+            self._arm_rexmt(restart=True)
+
+        # FIN progress.
+        if self.fin_sent_seq is not None and seq_lt(self.fin_sent_seq, ack):
+            self._fin_acked()
+
+        # Tell the application there is room again.
+        if self.on_sendable is not None and self.send_space > 0 and \
+                self.state in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT):
+            self.on_sendable(self.send_space)
+
+    def _fin_acked(self) -> None:
+        if self.state == TcpState.FIN_WAIT_1:
+            self.state = TcpState.FIN_WAIT_2
+        elif self.state == TcpState.CLOSING:
+            self._enter_time_wait()
+        elif self.state == TcpState.LAST_ACK:
+            self._enter_closed()
+
+    def _fast_retransmit(self) -> None:
+        self.fast_retransmits += 1
+        self.retransmits += 1
+        self.ssthresh = max(self._flight() // 2, 2 * self.mss)
+        self.recover = self.snd_nxt
+        self._retransmit_one()
+        self.cwnd = self.ssthresh + 3 * self.mss
+        self._rtt_seq = None  # Karn
+
+    # -- data receive machinery ---------------------------------------------------
+
+    def _rcv_window(self) -> int:
+        pending = self.delivered_unconsumed + sum(len(v) for v in self._reass.values())
+        return max(0, self.rcv_buf_limit - pending)
+
+    def _process_data(self, seq: int, payload: bytes) -> None:
+        window = self._rcv_window()
+        if window == 0:
+            self._send_ack()
+            return
+        if seq == self.rcv_nxt:
+            data = payload[:window]
+            self.rcv_nxt = seq_add(self.rcv_nxt, len(data))
+            self.bytes_received += len(data)
+            self._deliver(data)
+            # Pull contiguous reassembled segments through.
+            while self.rcv_nxt in self._reass:
+                chunk = self._reass.pop(self.rcv_nxt)
+                self.rcv_nxt = seq_add(self.rcv_nxt, len(chunk))
+                self.bytes_received += len(chunk)
+                self._deliver(chunk)
+            self._segs_since_ack += 1
+            if self._segs_since_ack >= 2 or self._fin_received:
+                self._send_ack()
+            else:
+                self._arm_delack()
+        else:
+            # Out of order: stash and send an immediate duplicate ACK.
+            if len(self._reass) < 64 and seq not in self._reass:
+                self._reass[seq] = payload[:window]
+            self._send_ack()
+
+    def _deliver(self, data: bytes) -> None:
+        # The commercial TCP code both systems share (paper sec. 4.2)
+        # copies received data from mbufs into the receive buffer.
+        self.host.cpu.charge(len(data) * self.host.costs.copy_per_byte, "copy")
+        self.delivered_unconsumed += len(data)
+        if self.on_data is not None:
+            self.on_data(data)
+        if self.auto_consume:
+            self.delivered_unconsumed -= len(data)
+
+    def _process_fin(self, fin_seq: int) -> None:
+        if fin_seq != self.rcv_nxt:
+            return  # FIN not yet in order
+        self._fin_received = True
+        self.rcv_nxt = seq_add(self.rcv_nxt, 1)
+        self._send_ack()
+        if self.state == TcpState.ESTABLISHED:
+            self.state = TcpState.CLOSE_WAIT
+            self._notify_close()
+        elif self.state == TcpState.FIN_WAIT_1:
+            # Simultaneous close (our FIN unacked yet).
+            self.state = TcpState.CLOSING
+            self._notify_close()
+        elif self.state == TcpState.FIN_WAIT_2:
+            self._notify_close()
+            self._enter_time_wait()
+
+    # ------------------------------------------------------------------
+    # Output engine
+    # ------------------------------------------------------------------
+
+    def _flight(self) -> int:
+        return seq_sub(self.snd_nxt, self.snd_una)
+
+    def _usable_window(self) -> int:
+        window = min(self.snd_wnd, self.cwnd)
+        return max(0, window - self._flight())
+
+    def _output(self) -> None:
+        """Send whatever the windows allow (plain code)."""
+        if self.state not in (TcpState.ESTABLISHED, TcpState.CLOSE_WAIT,
+                              TcpState.FIN_WAIT_1, TcpState.CLOSING,
+                              TcpState.LAST_ACK):
+            return
+        sent_something = False
+        while True:
+            offset = seq_sub(self.snd_nxt, self.snd_una)
+            # Bytes of the SYN/FIN occupy sequence space, not buffer space;
+            # compute the buffer offset of snd_nxt.
+            unsent = len(self.snd_buf) - offset
+            if unsent <= 0:
+                break
+            usable = self._usable_window()
+            if usable <= 0:
+                if self.snd_wnd == 0:
+                    # Zero window: persist probes own recovery; the
+                    # retransmission timer pauses (BSD behaviour).
+                    self._cancel_rexmt()
+                    self._arm_persist()
+                break
+            length = min(unsent, usable, self.mss)
+            if length < min(unsent, self.mss) and self._flight() > 0:
+                break  # silly-window avoidance: wait for a fuller segment
+            if length < self.mss and self._flight() > 0 and not self.nodelay:
+                break  # Nagle: coalesce small writes while data is unacked
+            chunk = bytes(self.snd_buf[offset:offset + length])
+            push = (offset + length == len(self.snd_buf))
+            self._send_data(self.snd_nxt, chunk, push)
+            if self._rtt_seq is None:
+                self._rtt_seq = self.snd_nxt
+                self._rtt_start = self.host.engine.now
+            self.snd_nxt = seq_add(self.snd_nxt, length)
+            sent_something = True
+        # FIN transmission once the buffer has drained.
+        offset = seq_sub(self.snd_nxt, self.snd_una)
+        if self.fin_queued and self.fin_sent_seq is None and \
+                offset >= len(self.snd_buf) and self._usable_window() > 0:
+            self.fin_sent_seq = self.snd_nxt
+            self._send_control(FIN | ACK, seq=self.snd_nxt)
+            self.snd_nxt = seq_add(self.snd_nxt, 1)
+            sent_something = True
+        if sent_something:
+            self._arm_rexmt()
+
+    def _retransmit_one(self) -> None:
+        """Resend the segment at snd_una."""
+        offset = 0
+        length = min(len(self.snd_buf), self.mss)
+        if length > 0:
+            chunk = bytes(self.snd_buf[offset:offset + length])
+            self._send_data(self.snd_una, chunk, push=True)
+        elif self.fin_sent_seq is not None:
+            self._send_control(FIN | ACK, seq=self.fin_sent_seq)
+        elif self.state == TcpState.SYN_SENT:
+            self._send_control(SYN, seq=self.iss)
+        elif self.state == TcpState.SYN_RCVD:
+            self._send_control(SYN | ACK, seq=self.iss)
+
+    # -- segment emission --------------------------------------------------------
+
+    def _send_data(self, seq: int, payload: bytes, push: bool) -> None:
+        flags = ACK | (PSH if push else 0)
+        window = self._rcv_window()
+        self._advertised_window = window
+        self.proto.send_segment(self, seq, self.rcv_nxt, flags,
+                                window, payload)
+        self.segments_sent += 1
+        self.bytes_sent += len(payload)
+        self._segs_since_ack = 0
+        self._cancel_delack()
+
+    def _send_control(self, flags: int, seq: int) -> None:
+        ack = self.rcv_nxt if (flags & ACK) else 0
+        window = self._rcv_window()
+        if flags & ACK:
+            self._advertised_window = window
+        self.proto.send_segment(self, seq, ack, flags, window, b"")
+        self.segments_sent += 1
+
+    def _send_ack(self) -> None:
+        self._segs_since_ack = 0
+        self._cancel_delack()
+        self._send_control(ACK, seq=self.snd_nxt)
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _update_rtt(self, sample_us: float) -> None:
+        if self.srtt is None:
+            self.srtt = sample_us
+            self.rttvar = sample_us / 2
+        else:
+            delta = sample_us - self.srtt
+            self.srtt += delta / 8
+            self.rttvar += (abs(delta) - self.rttvar) / 4
+        self.rto = min(max(self.srtt + 4 * self.rttvar, self.MIN_RTO_US),
+                       self.MAX_RTO_US)
+
+    def _arm_rexmt(self, restart: bool = False) -> None:
+        if self._rexmt_timer is not None:
+            if not restart:
+                return
+            self._rexmt_timer.cancel()
+        self._rexmt_timer = self.host.set_timer(
+            self.rto, self._rexmt_fire, name="tcp-rexmt")
+
+    def _cancel_rexmt(self) -> None:
+        if self._rexmt_timer is not None:
+            self._rexmt_timer.cancel()
+            self._rexmt_timer = None
+
+    def _rexmt_fire(self) -> None:
+        self._rexmt_timer = None
+        if self.state == TcpState.CLOSED:
+            return
+        if self.snd_wnd == 0 and self._persist_timer is not None:
+            return  # persist mode: probes own recovery
+        if self.snd_una == self.snd_nxt and self.state not in (
+                TcpState.SYN_SENT, TcpState.SYN_RCVD):
+            return  # everything acked meanwhile
+        self._rexmt_shift += 1
+        if self._rexmt_shift > self.MAX_RETRANSMITS:
+            # The peer is unreachable: drop the connection (RFC 793's
+            # user timeout); prevents retransmitting into a void forever.
+            self._enter_closed(notify_reset=True)
+            return
+        self.retransmits += 1
+        self.ssthresh = max(self._flight() // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.dupacks = 0
+        self.rto = min(self.rto * 2, self.MAX_RTO_US)
+        self._rtt_seq = None  # Karn's rule
+        self._retransmit_one()
+        self._arm_rexmt(restart=True)
+
+    def _arm_delack(self) -> None:
+        if self._delack_timer is not None:
+            return
+        self._delack_timer = self.host.set_timer(
+            self.DELAYED_ACK_US, self._delack_fire, name="tcp-delack")
+
+    def _cancel_delack(self) -> None:
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+
+    def _delack_fire(self) -> None:
+        self._delack_timer = None
+        if self._segs_since_ack > 0 and self.state != TcpState.CLOSED:
+            self._send_ack()
+
+    def _arm_persist(self) -> None:
+        if self._persist_timer is not None:
+            return
+        self._persist_timer = self.host.set_timer(
+            self.PERSIST_US, self._persist_fire, name="tcp-persist")
+
+    def _persist_fire(self) -> None:
+        self._persist_timer = None
+        if self.state == TcpState.CLOSED:
+            return
+        offset = seq_sub(self.snd_nxt, self.snd_una)
+        if self.snd_wnd == 0 and len(self.snd_buf) > offset:
+            # Window probe: one byte beyond the window.
+            probe = bytes(self.snd_buf[offset:offset + 1])
+            self._send_data(self.snd_nxt, probe, push=True)
+            self.snd_nxt = seq_add(self.snd_nxt, 1)
+            self._probe_pending = True
+            self._arm_persist()
+        else:
+            self._output()
+
+    def _enter_time_wait(self) -> None:
+        self.state = TcpState.TIME_WAIT
+        self._cancel_rexmt()
+        self._cancel_delack()
+        if self._timewait_timer is None:
+            self._timewait_timer = self.host.set_timer(
+                2 * self.MSL_US, self._enter_closed, name="tcp-timewait")
+
+    def _enter_closed(self, notify_reset: bool = False) -> None:
+        already_closed = self.state == TcpState.CLOSED
+        self.state = TcpState.CLOSED
+        self._cancel_rexmt()
+        self._cancel_delack()
+        if self._persist_timer is not None:
+            self._persist_timer.cancel()
+            self._persist_timer = None
+        if self._keepalive_timer is not None:
+            self._keepalive_timer.cancel()
+            self._keepalive_timer = None
+        if not already_closed:
+            self.proto.forget(self)
+            if notify_reset and self.on_reset is not None:
+                self.on_reset()
+
+    # ------------------------------------------------------------------
+    # Notifications
+    # ------------------------------------------------------------------
+
+    def _notify_established(self) -> None:
+        if self.on_established is not None:
+            self.on_established()
+
+    def _notify_close(self) -> None:
+        if self.on_close is not None:
+            self.on_close()
+
+    def __repr__(self) -> str:
+        return "<Tcb %s:%d<->%s:%d %s>" % (
+            self.laddr, self.lport, self.raddr, self.rport, self.state.value)

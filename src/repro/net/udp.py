@@ -1,0 +1,99 @@
+"""UDP: datagram transport with an *optional* checksum.
+
+The optional checksum is load-bearing for the paper: its motivating
+example of an application-specific protocol is "an implementation of UDP
+for which the checksum has been disabled" for audio/video applications
+(section 1.1).  ``UdpProto.output(..., checksum=False)`` emits a zero
+checksum field and receivers skip verification, eliminating the per-byte
+checksum cost -- measurably, in ``benchmarks/test_ablations.py``.
+
+Demultiplexing to endpoints is the OS glue's job (Plexus guards / UNIX
+PCB table); the ``upcall`` hook receives the parsed datagram.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..lang.view import VIEW, TypedView
+from ..spin.mbuf import Mbuf
+from .checksum import charged_checksum
+from .headers import IPPROTO_UDP, UDP_HEADER, pseudo_header
+from .ip import IpProto
+
+__all__ = ["UdpProto"]
+
+
+class UdpProto:
+    """UDP bound to one IP instance."""
+
+    HEADER_LEN = UDP_HEADER.size  # 8
+
+    def __init__(self, host, ip: IpProto):
+        self.host = host
+        self.ip = ip
+        #: set by OS glue: fn(m, payload_off, src_ip, src_port, dst_ip, dst_port)
+        self.upcall: Optional[Callable] = None
+        self.datagrams_in = 0
+        self.datagrams_out = 0
+        self.checksum_errors = 0
+        self.checksums_skipped = 0
+
+    # -- send path ----------------------------------------------------------
+
+    def output(self, m: Mbuf, src_port: int, dst_ip: int, dst_port: int,
+               src_ip: Optional[int] = None, checksum: bool = True) -> None:
+        """Send payload chain ``m`` as a datagram (plain code)."""
+        for port in (src_port, dst_port):
+            if not 0 < port <= 0xFFFF:
+                raise ValueError("invalid UDP port %r" % port)
+        self.host.cpu.charge(self.host.costs.udp_output, "protocol")
+        src_ip = self.ip.my_ip if src_ip is None else src_ip
+        length = self.HEADER_LEN + m.length()
+        header = bytearray(self.HEADER_LEN)
+        view = VIEW(header, UDP_HEADER)
+        view.src_port = src_port
+        view.dst_port = dst_port
+        view.length = length
+        view.checksum = 0
+        if checksum:
+            pseudo = pseudo_header(src_ip, dst_ip, IPPROTO_UDP, length)
+            value = charged_checksum(
+                self.host, pseudo + bytes(header) + m.to_bytes())
+            view.checksum = value if value != 0 else 0xFFFF
+        else:
+            self.checksums_skipped += 1
+        packet = m.prepend(header)
+        self.datagrams_out += 1
+        self.ip.output(packet, dst_ip, IPPROTO_UDP, src=src_ip)
+
+    # -- receive path -------------------------------------------------------------
+
+    def input(self, m: Mbuf, off: int, src_ip: int, dst_ip: int) -> None:
+        """Process a datagram whose UDP header is at ``off`` (plain code)."""
+        self.host.cpu.charge(self.host.costs.udp_input, "protocol")
+        data = m.data
+        if len(data) < off + self.HEADER_LEN:
+            return
+        view = VIEW(data, UDP_HEADER, offset=off)
+        length = view.length
+        if length < self.HEADER_LEN or off + length > m.length():
+            return
+        if view.checksum != 0:
+            pseudo = pseudo_header(src_ip, dst_ip, IPPROTO_UDP, length)
+            segment = m.to_bytes()[off:off + length]
+            if charged_checksum(self.host, pseudo + segment) != 0:
+                self.checksum_errors += 1
+                return
+        else:
+            self.checksums_skipped += 1
+        self.datagrams_in += 1
+        if self.upcall is not None:
+            self.upcall(m, off + self.HEADER_LEN, src_ip, view.src_port,
+                        dst_ip, view.dst_port)
+
+    # -- helpers -------------------------------------------------------------------------
+
+    @staticmethod
+    def header(m: Mbuf, off: int) -> TypedView:
+        return VIEW(m.data, UDP_HEADER, offset=off)

@@ -1,0 +1,35 @@
+"""The SPIN extensible operating system substrate (paper section 2)."""
+
+from .dispatcher import DispatchError, Dispatcher, EventDecl, HandlerHandle
+from .domain import Domain, DomainError, Interface, UnresolvedSymbol
+from .kernel import SpinKernel
+from .linker import (
+    DynamicLinker,
+    Extension,
+    LinkError,
+    LinkedExtension,
+    compile_extension,
+)
+from .mbuf import MCLBYTES, MLEN, Mbuf, MbufError, MbufPool
+
+__all__ = [
+    "DispatchError",
+    "Dispatcher",
+    "Domain",
+    "DomainError",
+    "DynamicLinker",
+    "EventDecl",
+    "Extension",
+    "HandlerHandle",
+    "Interface",
+    "LinkError",
+    "LinkedExtension",
+    "MCLBYTES",
+    "MLEN",
+    "Mbuf",
+    "MbufError",
+    "MbufPool",
+    "SpinKernel",
+    "UnresolvedSymbol",
+    "compile_extension",
+]

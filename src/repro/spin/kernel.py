@@ -1,0 +1,84 @@
+"""The SPIN kernel model: an extensible host (paper section 2).
+
+A :class:`SpinKernel` is a :class:`~repro.hw.host.Host` carrying the SPIN
+extension services:
+
+* a :class:`~repro.spin.dispatcher.Dispatcher` (events, guards, handlers),
+* a :class:`~repro.spin.linker.DynamicLinker` plus the standard logical
+  protection domains (the *kernel* domain containing every interface, and
+  narrower application-visible domains built by the protocol code),
+* an :class:`~repro.spin.mbuf.MbufPool`.
+
+Interrupt handling: when a NIC raises its interrupt (``frame_arrived``)
+the kernel runs the registered device-input procedure *at interrupt level*
+-- a kernel path at :data:`~repro.hw.cpu.INTERRUPT_PRIORITY` charging the
+interrupt entry/exit costs.  Everything the protocol graph does inline
+from there (guards, ephemeral handlers) executes in that context, which is
+exactly the low-latency path of the paper's Figure 5 "interrupt" bars;
+handlers installed with ``mode="thread"`` leave the interrupt context via
+a freshly spawned kernel thread (the "thread" bars).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..hw.cpu import INTERRUPT_PRIORITY
+from ..hw.host import Host
+from ..hw.link import Frame
+from ..hw.nic import NIC
+from ..sim import Engine
+from .dispatcher import Dispatcher
+from .domain import Domain, Interface
+from .linker import DynamicLinker
+from .mbuf import MbufPool
+
+__all__ = ["SpinKernel"]
+
+
+class SpinKernel(Host):
+    """A host running the SPIN operating system."""
+
+    def __init__(self, engine: Engine, name: str, **kwargs):
+        super().__init__(engine, name, **kwargs)
+        self.dispatcher = Dispatcher(self)
+        self.linker = DynamicLinker(self)
+        self.mbufs = MbufPool(self)
+        #: The full-kernel domain ("few extensions have access to this").
+        self.kernel_domain = Domain.create("%s.kernel" % name)
+        self._device_input: Dict[str, Callable[[NIC, Frame], None]] = {}
+        self.interrupts_handled = 0
+
+    # -- extension services -------------------------------------------------
+
+    def export_interface(self, interface: Interface,
+                         domain: Optional[Domain] = None) -> None:
+        """Export ``interface`` into ``domain`` (default: the kernel domain)."""
+        (domain or self.kernel_domain).export_interface(interface)
+
+    # -- device glue ------------------------------------------------------------
+
+    def register_device_input(self, nic: NIC,
+                              input_fn: Callable[[NIC, Frame], None]) -> None:
+        """Bind the bottom of the protocol graph to a device.
+
+        ``input_fn(nic, frame)`` is plain code run at interrupt level for
+        every received frame (typically the link-layer protocol's input
+        procedure, which raises ``PacketRecv`` events up the graph).
+        """
+        self._device_input[nic.name] = input_fn
+
+    def frame_arrived(self, nic: NIC, frame: Frame) -> None:
+        input_fn = self._device_input.get(nic.name)
+
+        def interrupt_body() -> None:
+            costs = self.costs
+            self.cpu.charge(costs.interrupt_entry, "interrupt")
+            nic.driver_recv_charges(frame)
+            if input_fn is not None:
+                input_fn(nic, frame.data)
+            self.cpu.charge(costs.interrupt_exit, "interrupt")
+            self.interrupts_handled += 1
+
+        self.spawn_kernel_path(interrupt_body, priority=INTERRUPT_PRIORITY,
+                               name="%s-intr" % nic.name)

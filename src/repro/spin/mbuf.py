@@ -1,0 +1,378 @@
+"""Berkeley memory buffers (mbufs).
+
+Plexus passes packets through the protocol graph as mbufs -- "a primary
+advantage of mbufs is that they are directly used by most UNIX device
+drivers" (paper footnote 1).  Both OS models in this reproduction use this
+implementation, mirroring the paper's shared-driver setup.
+
+The implementation follows the classic BSD design:
+
+* small mbufs carry up to :data:`MLEN` bytes inline; larger payloads live
+  in reference-counted :data:`MCLBYTES` clusters that chains can share,
+* a packet is a chain of mbufs linked through ``next``; the first mbuf of
+  a packet carries a packet header with the total length and receiving
+  interface,
+* headers are added with :meth:`Mbuf.prepend` (which uses leading space in
+  the buffer when available) and removed with :meth:`Mbuf.adj`,
+* :meth:`Mbuf.pullup` linearizes leading bytes so headers can be VIEWed
+  contiguously.
+
+READONLY packets (paper section 3.4): :meth:`Mbuf.freeze` marks a chain
+immutable; data access then returns :class:`~repro.lang.readonly.ReadOnlyBuffer`
+and every mutating operation raises ``ReadOnlyViolation``.  An extension
+that needs a private, writable packet calls :meth:`Mbuf.copy_packet`.
+
+CPU accounting: mbuf operations are pure; the per-host :class:`MbufPool`
+wraps allocation/free with cost charges so both OS models account mbuf
+work identically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+from ..lang.readonly import ReadOnlyBuffer, ReadOnlyViolation
+
+__all__ = ["Mbuf", "MbufPool", "MLEN", "MCLBYTES", "MbufError"]
+
+MLEN = 224        # bytes of inline storage in a small mbuf
+MCLBYTES = 2048   # bytes in a cluster
+
+
+class MbufError(RuntimeError):
+    """Raised on invalid mbuf operations (over-long prepends etc.)."""
+
+
+class _Cluster:
+    """Reference-counted external storage shared between mbuf copies."""
+
+    __slots__ = ("storage", "refs")
+
+    def __init__(self, size: int = MCLBYTES):
+        self.storage = bytearray(size)
+        self.refs = 1
+
+
+class PacketHeader:
+    """Per-packet metadata carried by the first mbuf of a chain."""
+
+    __slots__ = ("length", "rcvif", "timestamp")
+
+    def __init__(self, length: int = 0, rcvif=None, timestamp: Optional[float] = None):
+        self.length = length
+        self.rcvif = rcvif
+        self.timestamp = timestamp
+
+
+class Mbuf:
+    """One buffer in a packet chain."""
+
+    __slots__ = ("_storage", "_cluster", "off", "len", "next", "pkthdr",
+                 "_frozen")
+
+    def __init__(self, storage: Union[bytearray, _Cluster], off: int, length: int,
+                 pkthdr: Optional[PacketHeader] = None):
+        if isinstance(storage, _Cluster):
+            self._cluster: Optional[_Cluster] = storage
+            self._storage = storage.storage
+        else:
+            self._cluster = None
+            self._storage = storage
+        self.off = off
+        self.len = length
+        self.next: Optional["Mbuf"] = None
+        self.pkthdr = pkthdr
+        self._frozen = False
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def get(cls, leading_space: int = 0, pkthdr: bool = False) -> "Mbuf":
+        """A small empty mbuf with ``leading_space`` bytes of headroom."""
+        if leading_space >= MLEN:
+            raise MbufError("leading space %d exceeds MLEN %d" % (leading_space, MLEN))
+        hdr = PacketHeader() if pkthdr else None
+        return cls(bytearray(MLEN), leading_space, 0, hdr)
+
+    @classmethod
+    def get_cluster(cls, leading_space: int = 0, pkthdr: bool = False) -> "Mbuf":
+        """An empty cluster mbuf."""
+        if leading_space >= MCLBYTES:
+            raise MbufError("leading space %d exceeds MCLBYTES" % leading_space)
+        hdr = PacketHeader() if pkthdr else None
+        return cls(_Cluster(), leading_space, 0, hdr)
+
+    @classmethod
+    def from_bytes(cls, data: Union[bytes, bytearray], leading_space: int = 64,
+                   rcvif=None) -> "Mbuf":
+        """Build a packet chain holding ``data`` (with headroom for headers)."""
+        data = bytes(data)
+        head: Optional[Mbuf] = None
+        tail: Optional[Mbuf] = None
+        offset = 0
+        remaining = len(data)
+        first = True
+        while True:
+            space = leading_space if first else 0
+            if remaining + space <= MLEN and first and remaining <= MLEN - space:
+                m = cls.get(leading_space=space, pkthdr=first)
+            else:
+                m = cls.get_cluster(leading_space=space, pkthdr=first)
+            room = len(m._storage) - m.off
+            take = min(room, remaining)
+            m._storage[m.off:m.off + take] = data[offset:offset + take]
+            m.len = take
+            offset += take
+            remaining -= take
+            if head is None:
+                head = tail = m
+            else:
+                tail.next = m
+                tail = m
+            first = False
+            if remaining == 0:
+                break
+        head.pkthdr.length = len(data)
+        head.pkthdr.rcvif = rcvif
+        return head
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    @property
+    def data(self) -> Union[memoryview, ReadOnlyBuffer]:
+        """This mbuf's bytes; read-only when the packet is frozen."""
+        window = memoryview(self._storage)[self.off:self.off + self.len]
+        if self._frozen:
+            return ReadOnlyBuffer(window.toreadonly())
+        return window
+
+    def writable_data(self) -> memoryview:
+        """Explicitly writable window; raises on frozen packets."""
+        self._check_writable("write into")
+        return memoryview(self._storage)[self.off:self.off + self.len]
+
+    def chain(self) -> Iterator["Mbuf"]:
+        m: Optional[Mbuf] = self
+        while m is not None:
+            yield m
+            m = m.next
+
+    def length(self) -> int:
+        """Total bytes in the chain starting here."""
+        return sum(m.len for m in self.chain())
+
+    def to_bytes(self) -> bytes:
+        """Linearized copy of the whole chain (a copy, always allowed)."""
+        return b"".join(bytes(memoryview(m._storage)[m.off:m.off + m.len])
+                        for m in self.chain())
+
+    # -- mutation ----------------------------------------------------------------
+
+    def _check_writable(self, operation: str) -> None:
+        if self._frozen:
+            raise ReadOnlyViolation(
+                "cannot %s a READONLY packet; use copy_packet() first "
+                "(paper sec. 3.4)" % operation)
+
+    def freeze(self) -> "Mbuf":
+        """Mark the whole chain READONLY (idempotent); returns self."""
+        for m in self.chain():
+            m._frozen = True
+        return self
+
+    def prepend(self, data: Union[bytes, bytearray]) -> "Mbuf":
+        """Prepend ``data``, using headroom when possible.
+
+        Returns the (possibly new) head of the chain.
+        """
+        self._check_writable("prepend to")
+        data = bytes(data)
+        n = len(data)
+        if n <= self.off:
+            self.off -= n
+            self._storage[self.off:self.off + n] = data
+            self.len += n
+            if self.pkthdr is not None:
+                self.pkthdr.length += n
+            return self
+        # Not enough headroom: allocate a new head mbuf.
+        if n > MLEN:
+            head = Mbuf.get_cluster()
+        else:
+            head = Mbuf.get(leading_space=0)
+        head._storage[0:n] = data
+        head.len = n
+        head.next = self
+        head.pkthdr = self.pkthdr
+        if head.pkthdr is not None:
+            head.pkthdr.length += n
+        self.pkthdr = None
+        return head
+
+    def adj(self, count: int) -> None:
+        """Trim ``count`` bytes: positive from the front, negative from the back."""
+        self._check_writable("trim")
+        total = self.length()
+        if abs(count) > total:
+            raise MbufError("adj(%d) on a %d-byte chain" % (count, total))
+        if count >= 0:
+            remaining = count
+            for m in self.chain():
+                take = min(m.len, remaining)
+                m.off += take
+                m.len -= take
+                remaining -= take
+                if remaining == 0:
+                    break
+        else:
+            remaining = -count
+            chain = list(self.chain())
+            for m in reversed(chain):
+                take = min(m.len, remaining)
+                m.len -= take
+                remaining -= take
+                if remaining == 0:
+                    break
+        if self.pkthdr is not None:
+            self.pkthdr.length -= abs(count)
+
+    def pullup(self, count: int) -> "Mbuf":
+        """Make the first ``count`` bytes contiguous in the head mbuf."""
+        self._check_writable("pull up")
+        if count <= self.len:
+            return self
+        if count > self.length():
+            raise MbufError("pullup(%d) beyond chain length %d" % (count, self.length()))
+        if count > MCLBYTES:
+            raise MbufError("pullup(%d) exceeds cluster size" % count)
+        # Gather the first `count` bytes, leave the rest chained.
+        gathered = bytearray()
+        m: Optional[Mbuf] = self
+        while m is not None and len(gathered) < count:
+            take = min(m.len, count - len(gathered))
+            gathered += memoryview(m._storage)[m.off:m.off + take]
+            m.off += take
+            m.len -= take
+            last = m
+            m = m.next
+        # Build the new head in place: reuse self's storage if roomy.
+        tail = self.next
+        while tail is not None and tail.len == 0:
+            tail = tail.next
+        new_head = Mbuf.get_cluster() if count > MLEN else Mbuf.get()
+        new_head._storage[0:count] = gathered
+        new_head.len = count
+        new_head.next = tail
+        new_head.pkthdr = self.pkthdr
+        self.pkthdr = None
+        del last
+        return new_head
+
+    def append_bytes(self, data: Union[bytes, bytearray]) -> "Mbuf":
+        """Append payload bytes at the end of the chain."""
+        self._check_writable("append to")
+        data = bytes(data)
+        chain = list(self.chain())
+        tail = chain[-1]
+        room = len(tail._storage) - (tail.off + tail.len)
+        take = min(room, len(data))
+        if take:
+            tail._storage[tail.off + tail.len:tail.off + tail.len + take] = data[:take]
+            tail.len += take
+        rest = data[take:]
+        if rest:
+            extra = Mbuf.from_bytes(rest, leading_space=0)
+            extra_head_hdr = extra.pkthdr
+            extra.pkthdr = None
+            del extra_head_hdr
+            tail.next = extra
+        if self.pkthdr is not None:
+            self.pkthdr.length += len(data)
+        return self
+
+    # -- copies -----------------------------------------------------------------
+
+    def copy_packet(self, leading_space: int = 64) -> "Mbuf":
+        """A fresh, writable, deep copy of the chain (explicit copy-on-write)."""
+        clone = Mbuf.from_bytes(self.to_bytes(), leading_space=leading_space)
+        if self.pkthdr is not None:
+            clone.pkthdr.rcvif = self.pkthdr.rcvif
+            clone.pkthdr.timestamp = self.pkthdr.timestamp
+        return clone
+
+    def share(self) -> "Mbuf":
+        """A read-only shallow copy sharing cluster storage (zero copy).
+
+        Models BSD ``m_copym`` with cluster reference sharing; the result
+        is frozen because writers would otherwise alias the original.
+        """
+        head: Optional[Mbuf] = None
+        tail: Optional[Mbuf] = None
+        for m in self.chain():
+            if m._cluster is not None:
+                m._cluster.refs += 1
+                twin = Mbuf(m._cluster, m.off, m.len)
+            else:
+                twin = Mbuf(m._storage, m.off, m.len)
+            twin._frozen = True
+            if head is None:
+                head = tail = twin
+            else:
+                tail.next = twin
+                tail = twin
+        if self.pkthdr is not None:
+            head.pkthdr = PacketHeader(self.pkthdr.length, self.pkthdr.rcvif,
+                                       self.pkthdr.timestamp)
+        return head
+
+    def free(self) -> None:
+        """Release the chain (drops cluster references)."""
+        for m in self.chain():
+            if m._cluster is not None:
+                m._cluster.refs -= 1
+
+    def __repr__(self) -> str:
+        return "<Mbuf len=%d chain=%d total=%d%s>" % (
+            self.len, sum(1 for _ in self.chain()), self.length(),
+            " READONLY" if self._frozen else "")
+
+
+class MbufPool:
+    """Per-host allocator facade that charges CPU costs for mbuf work."""
+
+    def __init__(self, host):
+        self.host = host
+        self.allocated = 0
+        self.freed = 0
+
+    def _charge_alloc(self, chain: Mbuf) -> Mbuf:
+        count = sum(1 for _ in chain.chain())
+        self.host.cpu.charge(count * self.host.costs.mbuf_alloc, "mbuf")
+        self.allocated += count
+        return chain
+
+    def from_bytes(self, data: Union[bytes, bytearray], leading_space: int = 64,
+                   rcvif=None) -> Mbuf:
+        return self._charge_alloc(Mbuf.from_bytes(data, leading_space, rcvif))
+
+    def get(self, leading_space: int = 0, pkthdr: bool = False) -> Mbuf:
+        return self._charge_alloc(Mbuf.get(leading_space, pkthdr))
+
+    def get_cluster(self, leading_space: int = 0, pkthdr: bool = False) -> Mbuf:
+        return self._charge_alloc(Mbuf.get_cluster(leading_space, pkthdr))
+
+    def copy_packet(self, m: Mbuf, leading_space: int = 64) -> Mbuf:
+        clone = m.copy_packet(leading_space)
+        self.host.cpu.charge(
+            m.length() * self.host.costs.copy_per_byte, "copy")
+        return self._charge_alloc(clone)
+
+    def free(self, m: Mbuf) -> None:
+        count = sum(1 for _ in m.chain())
+        self.host.cpu.charge(count * self.host.costs.mbuf_free, "mbuf")
+        self.freed += count
+        m.free()

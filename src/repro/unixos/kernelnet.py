@@ -1,0 +1,143 @@
+"""The monolithic-kernel baseline: a DIGITAL UNIX-style host.
+
+Same device drivers, same protocol implementations (``repro.net``) -- as
+the paper stresses, "both systems use the same network device driver" and
+"the same TCP/IP implementation"; what differs is *structure*:
+
+* protocol layers are wired with direct calls (no dispatcher, no guards:
+  the monolithic stack pays no dispatch cost -- it also cannot be
+  extended),
+* applications live in user processes behind the socket layer: every
+  send/receive crosses the user/kernel boundary with a trap and a
+  per-byte copy, and every delivery to a blocked process costs a wakeup
+  plus a context switch (``repro.unixos.sockets``).
+
+The measured differences between :class:`UnixStack` and
+:class:`~repro.core.plexus.PlexusStack` are therefore exactly the paper's
+claim: operating-system structure, nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..hw.cpu import INTERRUPT_PRIORITY
+from ..hw.host import Host
+from ..hw.link import Frame
+from ..hw.nic import NIC
+from ..lang.view import VIEW
+from ..net.arp import ArpProto
+from ..net.ethernet import EthernetProto
+from ..net.headers import (
+    ETHERNET_HEADER,
+    ETHERTYPE_ARP,
+    ETHERTYPE_IP,
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+)
+from ..net.icmp import IcmpProto
+from ..net.ip import IpProto
+from ..net.link_adapter import EthernetAdapter, RawLinkProto
+from ..net.tcp import TcpProto
+from ..net.udp import UdpProto
+from ..sim import Engine
+from ..spin.mbuf import MbufPool
+
+__all__ = ["UnixKernel", "UnixStack"]
+
+
+class UnixKernel(Host):
+    """A host running the monolithic OS model."""
+
+    def __init__(self, engine: Engine, name: str, **kwargs):
+        super().__init__(engine, name, **kwargs)
+        self.mbufs = MbufPool(self)
+        self._device_input: Dict[str, Callable[[NIC, bytes], None]] = {}
+        self.interrupts_handled = 0
+
+    def register_device_input(self, nic: NIC,
+                              input_fn: Callable[[NIC, bytes], None]) -> None:
+        self._device_input[nic.name] = input_fn
+
+    def frame_arrived(self, nic: NIC, frame: Frame) -> None:
+        input_fn = self._device_input.get(nic.name)
+
+        def interrupt_body() -> None:
+            costs = self.costs
+            self.cpu.charge(costs.interrupt_entry, "interrupt")
+            nic.driver_recv_charges(frame)
+            if input_fn is not None:
+                input_fn(nic, frame.data)
+            self.cpu.charge(costs.interrupt_exit, "interrupt")
+            self.interrupts_handled += 1
+
+        self.spawn_kernel_path(interrupt_body, priority=INTERRUPT_PRIORITY,
+                               name="%s-intr" % nic.name)
+
+
+class UnixStack:
+    """The in-kernel protocol stack of the monolithic model."""
+
+    def __init__(self, kernel: UnixKernel, nic: NIC, my_ip: int,
+                 link: str = "ethernet",
+                 neighbors: Optional[Dict[int, object]] = None):
+        if link not in ("ethernet", "raw"):
+            raise ValueError("link must be 'ethernet' or 'raw'")
+        self.host = kernel
+        self.nic = nic
+        self.my_ip = my_ip
+
+        self.ethernet: Optional[EthernetProto] = None
+        self.arp: Optional[ArpProto] = None
+        self.rawlink: Optional[RawLinkProto] = None
+        if link == "ethernet":
+            self.ethernet = EthernetProto(kernel, nic)
+            self.arp = ArpProto(kernel, self.ethernet, my_ip)
+            adapter = EthernetAdapter(self.ethernet, self.arp)
+            bottom = self.ethernet
+            header_len = EthernetProto.HEADER_LEN
+        else:
+            self.rawlink = RawLinkProto(kernel, nic, neighbors)
+            adapter = self.rawlink
+            bottom = self.rawlink
+            header_len = 0
+        self.ip = IpProto(kernel, my_ip, adapter)
+        self.icmp = IcmpProto(kernel, self.ip)
+        self.udp = UdpProto(kernel, self.ip)
+        self.tcp = TcpProto(kernel, self.ip, name="tcp-unix")
+
+        # -- monolithic wiring: direct calls, no events ---------------------
+        if self.ethernet is not None:
+            arp = self.arp
+            ip = self.ip
+
+            def ether_demux(nic_, m):
+                header = VIEW(m.data, ETHERNET_HEADER)
+                if header.type == ETHERTYPE_IP:
+                    ip.input(m, header_len)
+                elif header.type == ETHERTYPE_ARP:
+                    arp.input(m, header_len)
+            bottom.upcall = ether_demux
+        else:
+            ip = self.ip
+
+            def raw_demux(nic_, m):
+                ip.input(m, header_len)
+            bottom.upcall = raw_demux
+
+        def ip_demux(protocol, m, off, src, dst):
+            if protocol == IPPROTO_UDP:
+                self.udp.input(m, off, src, dst)
+            elif protocol == IPPROTO_TCP:
+                self.tcp.input(m, off, src, dst)
+            elif protocol == IPPROTO_ICMP:
+                self.icmp.input(m, off, src, dst)
+        self.ip.upcall = ip_demux
+
+        # The socket layer (repro.unixos.sockets) plugs into udp.upcall and
+        # uses self.tcp for connections.
+        kernel.register_device_input(nic, bottom.input)
+
+    def __repr__(self) -> str:
+        return "<UnixStack %s ip=%s>" % (self.host.name, self.my_ip)

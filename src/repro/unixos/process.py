@@ -1,0 +1,45 @@
+"""User processes for the monolithic model.
+
+A :class:`UserProcess` is a thin identity around a simulation process: it
+gives application code a place to charge *application-level* CPU work
+(category ``app``) so the utilization decompositions of paper section 5
+can separate protocol cost from application cost.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..sim import Process
+
+__all__ = ["UserProcess"]
+
+
+class UserProcess:
+    """One user-level process on a monolithic host."""
+
+    def __init__(self, host, name: str):
+        self.host = host
+        self.name = name
+        self.process: Process = None
+
+    def app_compute(self, microseconds: float) -> Generator:
+        """Application CPU work (charged and consumed at thread priority)."""
+        def work():
+            self.host.cpu.charge(microseconds, "app")
+        yield from self.host.kernel_path(work)
+
+    def start(self, generator) -> Process:
+        """Run ``generator`` as this process's main."""
+        self.process = self.host.engine.process(
+            generator, name="proc-%s" % self.name)
+
+        def surface(event) -> None:
+            if event._exception is not None:
+                raise event._exception
+        self.process.callbacks.append(surface)
+        return self.process
+
+    @property
+    def finished(self) -> bool:
+        return self.process is not None and self.process.triggered

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.bench.testbed import build_testbed
+from repro.sim import Engine
+from repro.spin import SpinKernel
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def kernel(engine):
+    return SpinKernel(engine, "test-kernel")
+
+
+@pytest.fixture
+def spin_pair():
+    """Two SPIN hosts with Plexus stacks on a private Ethernet."""
+    return build_testbed("spin", "ethernet")
+
+
+@pytest.fixture
+def unix_pair():
+    """Two monolithic hosts with socket layers on a private Ethernet."""
+    return build_testbed("unix", "ethernet")
+
+
+def run_kernel(bed, host_index, fn):
+    """Run plain kernel code on one host of a testbed and drain events."""
+    result = bed.engine.run_process(
+        bed.hosts[host_index].kernel_path(fn), name="test-kpath")
+    bed.engine.run()
+    return result

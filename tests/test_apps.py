@@ -1,0 +1,213 @@
+"""Tests for the section 5 applications: video, forwarder, active
+messages, HTTP."""
+
+import pytest
+
+from repro.apps import (
+    ActiveMessages,
+    BackendService,
+    PlexusForwarder,
+    SpinHttpClient,
+    SpinHttpServer,
+    SpinVideoClient,
+    SpinVideoServer,
+    UnixHttpServer,
+    UnixVideoServer,
+    unix_http_get,
+)
+from repro.apps.video import VIDEO_PORT_BASE
+from repro.bench.testbed import build_testbed
+from repro.core import Credential
+from repro.lang import ephemeral
+from repro.sim import Signal
+
+
+class TestActiveMessages:
+    def test_remote_handler_invoked(self, spin_pair):
+        bed = spin_pair
+        am_a = ActiveMessages(bed.stacks[0], name="am-a")
+        am_b = ActiveMessages(bed.stacks[1], name="am-b")
+        seen = []
+
+        @ephemeral
+        def handler(seq, arg, index):
+            seen.append((seq, arg, index))
+        am_b.register(3, handler)
+        bed.engine.run_process(bed.hosts[0].kernel_path(
+            lambda: am_a.send(bed.nics[1].address, 3, arg=0xABCD)))
+        bed.engine.run()
+        assert seen == [(1, 0xABCD, 3)]
+        assert am_b.messages_received == 1
+
+    def test_unregistered_index_ignored(self, spin_pair):
+        bed = spin_pair
+        am_a = ActiveMessages(bed.stacks[0], name="am-a")
+        am_b = ActiveMessages(bed.stacks[1], name="am-b")
+        bed.engine.run_process(bed.hosts[0].kernel_path(
+            lambda: am_a.send(bed.nics[1].address, 42)))
+        bed.engine.run()
+        assert am_b.messages_received == 1  # frame arrived, no target
+
+    def test_non_ephemeral_handler_rejected(self, spin_pair):
+        am = ActiveMessages(spin_pair.stacks[0])
+
+        def sloppy(seq, arg, index):
+            pass
+        with pytest.raises(ValueError, match="ephemeral"):
+            am.register(1, sloppy)
+
+    def test_requires_ethernet(self):
+        bed = build_testbed("spin", "t3")
+        with pytest.raises(ValueError, match="Ethernet"):
+            ActiveMessages(bed.stacks[0])
+
+    def test_remove_releases_ethertype(self, spin_pair):
+        am = ActiveMessages(spin_pair.stacks[0], name="first")
+        am.remove()
+        ActiveMessages(spin_pair.stacks[0], name="second")  # same ethertype
+
+
+class TestVideo:
+    def test_spin_server_streams_frames(self):
+        bed = build_testbed("spin", "t3")
+        client = SpinVideoClient(bed.stacks[1], frame_bytes=12_500)
+        server = SpinVideoServer(bed.stacks[0], frame_bytes=12_500)
+        server.add_stream(bed.ip(1), VIDEO_PORT_BASE, frames=6)
+        bed.engine.run(until=400_000.0)
+        assert server.stats.frames_sent == 6
+        assert client.frames_displayed >= 5
+        assert server.stats.deadline_misses == 0
+
+    def test_unix_server_streams_frames(self):
+        bed = build_testbed("unix", "t3")
+        from repro.apps import UnixVideoClient
+        client = UnixVideoClient(bed.sockets[1], frame_bytes=12_500)
+        server = UnixVideoServer(bed.sockets[0], frame_bytes=12_500)
+        server.add_stream(bed.ip(1), VIDEO_PORT_BASE, frames=6)
+        bed.engine.run(until=400_000.0)
+        assert server.stats.frames_sent == 6
+        assert client.frames_displayed >= 5
+
+    def test_video_uses_checksum_free_udp(self):
+        """The application-specific video protocol skips checksums."""
+        bed = build_testbed("spin", "t3")
+        SpinVideoClient(bed.stacks[1])
+        server = SpinVideoServer(bed.stacks[0])
+        server.add_stream(bed.ip(1), VIDEO_PORT_BASE, frames=2)
+        bed.engine.run(until=150_000.0)
+        assert bed.stacks[0].udp.checksums_skipped > 0
+
+    def test_spin_server_cheaper_than_unix(self):
+        spin_bed = build_testbed("spin", "t3")
+        SpinVideoClient(spin_bed.stacks[1])
+        spin_server = SpinVideoServer(spin_bed.stacks[0])
+        spin_server.add_stream(spin_bed.ip(1), VIDEO_PORT_BASE, frames=6)
+        spin_bed.engine.run(until=300_000.0)
+
+        unix_bed = build_testbed("unix", "t3")
+        from repro.apps import UnixVideoClient
+        UnixVideoClient(unix_bed.sockets[1])
+        unix_server = UnixVideoServer(unix_bed.sockets[0])
+        unix_server.add_stream(unix_bed.ip(1), VIDEO_PORT_BASE, frames=6)
+        unix_bed.engine.run(until=300_000.0)
+
+        assert (spin_bed.hosts[0].cpu.busy_time <
+                unix_bed.hosts[0].cpu.busy_time / 1.5)
+
+
+class TestForwarder:
+    def _build(self):
+        bed = build_testbed("spin", "ethernet", n_hosts=3)
+        forwarder = PlexusForwarder(bed.stacks[1], 8080, backends=[bed.ip(2)])
+        backend = BackendService(bed.stacks[2], virtual_ip=bed.ip(1),
+                                 port=8080, echo=True)
+        return bed, forwarder, backend
+
+    def test_connection_redirected_end_to_end(self):
+        bed, forwarder, backend = self._build()
+        engine = bed.engine
+        replies = []
+        got = Signal(engine)
+        host = bed.hosts[0]
+
+        def run():
+            box = {}
+
+            def connect():
+                tcb = bed.stacks[0].tcp_manager.connect(
+                    Credential("cli"), bed.ip(1), 8080)
+                tcb.on_data = lambda data: (replies.append(data),
+                                            host.defer(got.fire))
+                tcb.on_established = lambda: tcb.send(b"through the kernel")
+            waiter = got.wait()
+            yield from host.kernel_path(connect)
+            yield waiter
+        engine.run_process(run())
+        assert replies == [b"through the kernel"]
+        # End-to-end: the backend terminates the connection.
+        assert backend.connections
+        assert forwarder.packets_forwarded > 0
+        # The forwarder's own TCP never saw the connection.
+        assert not bed.stacks[1].tcp.connections
+
+    def test_round_robin_across_backends(self):
+        bed = build_testbed("spin", "ethernet", n_hosts=4)
+        forwarder = PlexusForwarder(bed.stacks[1], 8080,
+                                    backends=[bed.ip(2), bed.ip(3)])
+        b1 = BackendService(bed.stacks[2], bed.ip(1), 8080, echo=True)
+        b2 = BackendService(bed.stacks[3], bed.ip(1), 8080, echo=True)
+        engine = bed.engine
+        host = bed.hosts[0]
+
+        def connect_two():
+            bed.stacks[0].tcp_manager.connect(Credential("c1"), bed.ip(1), 8080)
+            bed.stacks[0].tcp_manager.connect(Credential("c2"), bed.ip(1), 8080)
+        engine.run_process(host.kernel_path(connect_two))
+        engine.run(until=engine.now + 100_000.0)
+        assert len(b1.connections) == 1
+        assert len(b2.connections) == 1
+        assert forwarder.flow_count() == 2
+
+    def test_forwarder_removal_restores_local_delivery(self):
+        bed, forwarder, backend = self._build()
+        forwarder.remove()
+        # The port is free again on the forwarding host.
+        bed.stacks[1].tcp_manager.listen(Credential("local"), 8080,
+                                         lambda tcb: None)
+
+    def test_requires_backends(self, spin_pair):
+        with pytest.raises(ValueError):
+            PlexusForwarder(spin_pair.stacks[0], 8080, backends=[])
+
+
+class TestHttp:
+    PAGES = {"/": b"<html>SPIN</html>", "/paper": b"Plexus " * 500}
+
+    def test_spin_http_end_to_end(self, spin_pair):
+        bed = spin_pair
+        SpinHttpServer(bed.stacks[1], self.PAGES, port=8088)
+        client = SpinHttpClient(bed.stacks[0], bed.ip(1), port=8088)
+        status, body = bed.engine.run_process(client.fetch("/"))
+        assert (status, body) == (200, b"<html>SPIN</html>")
+
+    def test_spin_http_large_page(self, spin_pair):
+        bed = spin_pair
+        SpinHttpServer(bed.stacks[1], self.PAGES, port=8088)
+        client = SpinHttpClient(bed.stacks[0], bed.ip(1), port=8088)
+        status, body = bed.engine.run_process(client.fetch("/paper"))
+        assert status == 200
+        assert body == self.PAGES["/paper"]
+
+    def test_spin_http_404(self, spin_pair):
+        bed = spin_pair
+        SpinHttpServer(bed.stacks[1], self.PAGES, port=8088)
+        client = SpinHttpClient(bed.stacks[0], bed.ip(1), port=8088)
+        status, _body = bed.engine.run_process(client.fetch("/nope"))
+        assert status == 404
+
+    def test_unix_http_end_to_end(self, unix_pair):
+        bed = unix_pair
+        UnixHttpServer(bed.sockets[1], self.PAGES, port=8088)
+        status, body = bed.engine.run_process(
+            unix_http_get(bed.sockets[0], bed.ip(1), "/", port=8088))
+        assert (status, body) == (200, b"<html>SPIN</html>")

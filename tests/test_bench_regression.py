@@ -1,0 +1,29 @@
+"""Tests for the golden-number regression checker (quick subset)."""
+
+import pytest
+
+from repro.bench.regression import GOLDEN, check_all, check_one
+
+
+class TestGoldenChecks:
+    def test_quick_headline_metrics_hold(self):
+        rows = check_all(["fig5.ethernet.plexus-interrupt.us",
+                          "fig5.ethernet.unix.us",
+                          "sec42.ethernet.plexus.mbps"])
+        for row in rows:
+            assert row["ok"], row
+
+    def test_every_metric_has_sane_tolerance(self):
+        for name, (_fn, expected, tolerance) in GOLDEN.items():
+            assert expected > 0, name
+            assert 0 < tolerance <= 0.2, name
+
+    def test_check_one_record_shape(self):
+        record = check_one("fig5.t3.plexus-interrupt.us")
+        assert set(record) == {"metric", "expected", "measured",
+                               "deviation", "tolerance", "ok"}
+        assert record["ok"]
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            check_one("fig99.imaginary")

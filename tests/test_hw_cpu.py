@@ -1,0 +1,208 @@
+"""Tests for the CPU model and the charge/consume discipline."""
+
+import pytest
+
+from repro.hw import ALPHA_21064, CPU, ChargeError, INTERRUPT_PRIORITY, THREAD_PRIORITY
+from repro.hw.host import Host
+
+
+class EchoHost(Host):
+    def frame_arrived(self, nic, frame):
+        pass
+
+
+@pytest.fixture
+def cpu(engine):
+    return CPU(engine)
+
+
+@pytest.fixture
+def host(engine):
+    return EchoHost(engine, "h")
+
+
+class TestAccumulator:
+    def test_begin_charge_end(self, cpu):
+        marker = cpu.begin()
+        cpu.charge(10.0)
+        cpu.charge(5.0, "driver")
+        assert cpu.end(marker) == 15.0
+
+    def test_charge_without_begin_rejected(self, cpu):
+        with pytest.raises(ChargeError):
+            cpu.charge(1.0)
+
+    def test_negative_charge_rejected(self, cpu):
+        cpu.begin()
+        with pytest.raises(ValueError):
+            cpu.charge(-1.0)
+
+    def test_nested_accumulators_are_independent(self, cpu):
+        outer = cpu.begin()
+        cpu.charge(10.0)
+        inner = cpu.begin()
+        cpu.charge(3.0)
+        assert cpu.end(inner) == 3.0
+        assert cpu.end(outer) == 10.0
+
+    def test_mismatched_end_rejected(self, cpu):
+        outer = cpu.begin()
+        cpu.begin()
+        with pytest.raises(ChargeError):
+            cpu.end(outer)
+
+    def test_category_accounting(self, cpu):
+        cpu.begin()
+        cpu.charge(10.0, "driver")
+        cpu.charge(5.0, "driver")
+        cpu.charge(2.0, "protocol")
+        assert cpu.category_times["driver"] == 15.0
+        assert cpu.category_fraction("driver") == pytest.approx(15 / 17)
+
+    def test_charge_bytes(self, cpu):
+        cpu.begin()
+        cpu.charge_bytes(1000, 0.025)
+        assert cpu.category_times["copy"] == pytest.approx(25.0)
+
+    def test_recharge_skips_categories(self, cpu):
+        marker = cpu.begin()
+        cpu.recharge(12.0)
+        assert cpu.end(marker) == 12.0
+        assert cpu.category_times == {}
+
+
+class TestConsume:
+    def test_consume_advances_time_and_busy(self, engine, cpu):
+        def proc():
+            yield from cpu.consume(40.0)
+        engine.run_process(proc())
+        assert engine.now == 40.0
+        assert cpu.busy_time == 40.0
+
+    def test_zero_consume_is_noop(self, engine, cpu):
+        def proc():
+            yield from cpu.consume(0.0)
+            return "ok"
+        assert engine.run_process(proc()) == "ok"
+        assert engine.now == 0.0
+
+    def test_consumers_serialize(self, engine, cpu):
+        finish = []
+
+        def worker(tag):
+            yield from cpu.consume(10.0)
+            finish.append((tag, engine.now))
+        engine.process(worker("a"))
+        engine.process(worker("b"))
+        engine.run()
+        assert finish == [("a", 10.0), ("b", 20.0)]
+
+    def test_interrupt_priority_served_first(self, engine, cpu):
+        order = []
+
+        def holder():
+            yield from cpu.consume(10.0)
+            order.append("holder")
+
+        def thread():
+            yield from cpu.consume(5.0, THREAD_PRIORITY)
+            order.append("thread")
+
+        def interrupt():
+            yield engine.timeout(1.0)
+            yield from cpu.consume(5.0, INTERRUPT_PRIORITY)
+            order.append("interrupt")
+        engine.process(holder())
+        engine.process(thread())
+        engine.process(interrupt())
+        engine.run()
+        assert order == ["holder", "interrupt", "thread"]
+
+    def test_execute_runs_fn_and_consumes(self, engine, cpu):
+        def work(x):
+            cpu.charge(25.0)
+            return x * 2
+
+        def proc():
+            result = yield from cpu.execute(work, (21,))
+            return result
+        assert engine.run_process(proc()) == 42
+        assert engine.now == 25.0
+
+
+class TestUtilization:
+    def test_utilization_since(self, engine, cpu):
+        def proc():
+            yield from cpu.consume(30.0)
+            yield engine.timeout(70.0)
+        sample = cpu.sample()
+        engine.run_process(proc())
+        assert cpu.utilization_since(*sample) == pytest.approx(0.3)
+
+    def test_utilization_zero_window(self, cpu):
+        sample = cpu.sample()
+        assert cpu.utilization_since(*sample) == 0.0
+
+
+class TestKernelPath:
+    def test_acquires_cpu_before_running(self, engine, host):
+        """Causality: plain work waits for the CPU under contention."""
+        order = []
+
+        def hog():
+            yield from host.cpu.consume(50.0)
+
+        def path_fn():
+            order.append(engine.now)
+        engine.process(hog())
+
+        def runner():
+            yield from host.kernel_path(path_fn)
+        engine.run_process(runner())
+        assert order == [50.0]  # ran only after the hog released the CPU
+
+    def test_deferred_actions_after_hold(self, engine, host):
+        times = []
+
+        def work():
+            host.cpu.charge(20.0)
+            host.defer(lambda: times.append(engine.now))
+
+        def runner():
+            yield from host.kernel_path(work)
+        engine.run_process(runner())
+        assert times == [20.0]
+
+    def test_exception_still_pops_accumulator(self, engine, host):
+        def broken():
+            host.cpu.charge(5.0)
+            raise ValueError("bug")
+
+        def runner():
+            yield from host.kernel_path(broken)
+        with pytest.raises(ValueError):
+            engine.run_process(runner())
+        assert host.cpu.open_accumulators == 0
+
+    def test_timer_fires_as_kernel_path(self, engine, host):
+        fired = []
+        host.set_timer(100.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [100.0]
+
+    def test_timer_cancel(self, engine, host):
+        fired = []
+        timer = host.set_timer(100.0, lambda: fired.append(1))
+        timer.cancel()
+        engine.run()
+        assert fired == []
+        assert not timer.fired
+
+    def test_scaled_cost_table(self):
+        slower = ALPHA_21064.scaled(2.0)
+        assert slower.context_switch == ALPHA_21064.context_switch * 2
+
+    def test_cost_table_replace(self):
+        custom = ALPHA_21064.replace(syscall_trap=99.0)
+        assert custom.syscall_trap == 99.0
+        assert custom.copy_per_byte == ALPHA_21064.copy_per_byte

@@ -1,0 +1,94 @@
+"""Tests for READONLY buffers (paper section 3.4, Figure 4)."""
+
+import pytest
+
+from repro.lang import ReadOnlyBuffer, ReadOnlyViolation, readonly
+
+
+class TestReads:
+    def test_length(self):
+        assert len(readonly(b"abcdef")) == 6
+
+    def test_indexing(self):
+        buf = readonly(b"abc")
+        assert buf[0] == ord("a")
+        assert buf[-1] == ord("c")
+
+    def test_slicing_returns_bytes(self):
+        buf = readonly(b"abcdef")
+        assert buf[1:3] == b"bc"
+        assert isinstance(buf[1:3], bytes)
+
+    def test_iteration(self):
+        assert list(readonly(b"ab")) == [ord("a"), ord("b")]
+
+    def test_equality_with_bytes(self):
+        assert readonly(b"xy") == b"xy"
+        assert readonly(b"xy") == bytearray(b"xy")
+        assert readonly(b"xy") == readonly(b"xy")
+        assert readonly(b"xy") != b"yz"
+
+    def test_bytes_conversion(self):
+        assert bytes(readonly(bytearray(b"ab"))) == b"ab"
+
+    def test_hashable(self):
+        assert hash(readonly(b"ab")) == hash(readonly(b"ab"))
+
+    def test_wraps_memoryview(self):
+        assert readonly(memoryview(b"ab"))[0] == ord("a")
+
+    def test_idempotent(self):
+        buf = readonly(b"ab")
+        assert readonly(buf) is buf
+
+    def test_rejects_non_buffer(self):
+        with pytest.raises(TypeError):
+            ReadOnlyBuffer([1, 2, 3])
+
+
+class TestFigure4:
+    """The BadPacketRecv / GoodPacketRecv pair from the paper."""
+
+    def test_bad_packet_recv_rejected(self):
+        """BadPacketRecv overwrites the packet: 'rejected by compiler'."""
+        m_data = readonly(bytearray(64))
+        with pytest.raises(ReadOnlyViolation):
+            for i in range(len(m_data)):
+                m_data[i] = 0
+
+    def test_good_packet_recv_copies_first(self):
+        """GoodPacketRecv copies, then overwrites the copy: legal."""
+        m_data = readonly(bytearray(b"\x01" * 64))
+        p = m_data.copy()
+        for i in range(len(p)):
+            p[i] = 0
+        assert p == bytearray(64)
+        assert m_data == b"\x01" * 64  # the original is untouched
+
+
+class TestMutationRejection:
+    @pytest.mark.parametrize("operation", [
+        lambda b: b.__setitem__(0, 1),
+        lambda b: b.__delitem__(0),
+        lambda b: b.append(1),
+        lambda b: b.extend(b"x"),
+        lambda b: b.insert(0, 1),
+        lambda b: b.pop(),
+        lambda b: b.clear(),
+        lambda b: b.remove(1),
+        lambda b: b.reverse(),
+        lambda b: b.sort(),
+    ])
+    def test_all_mutations_rejected(self, operation):
+        buf = readonly(bytearray(b"\x01\x02\x03"))
+        with pytest.raises(ReadOnlyViolation):
+            operation(buf)
+
+    def test_iadd_rejected(self):
+        buf = readonly(b"ab")
+        with pytest.raises(ReadOnlyViolation):
+            buf += b"c"
+
+    def test_raw_memoryview_is_readonly(self):
+        raw = readonly(bytearray(4)).raw()
+        assert raw.readonly

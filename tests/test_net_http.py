@@ -1,0 +1,110 @@
+"""Tests for the HTTP layer (parsers and connection state machines)."""
+
+import pytest
+
+from repro.net.http import (
+    HttpError,
+    build_request,
+    build_response,
+    parse_request,
+    parse_response,
+)
+
+from nethelpers import make_pair
+
+
+class TestWireFormat:
+    def test_request_roundtrip(self):
+        raw = build_request("GET", "/index.html", {"Host": "spin"})
+        method, path, headers = parse_request(raw)
+        assert method == "GET"
+        assert path == "/index.html"
+        assert headers["host"] == "spin"
+
+    def test_response_roundtrip(self):
+        raw = build_response(200, b"hello world")
+        status, headers, body = parse_response(raw)
+        assert status == 200
+        assert headers["content-length"] == "11"
+        assert body == b"hello world"
+
+    def test_response_reason_phrases(self):
+        assert b"404 Not Found" in build_response(404, b"")
+        assert b"200 OK" in build_response(200, b"")
+
+    def test_incomplete_request_rejected(self):
+        with pytest.raises(HttpError):
+            parse_request(b"GET / HTTP/1.0\r\n")
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(HttpError):
+            parse_request(b"GARBAGE\r\n\r\n")
+
+    def test_malformed_header_rejected(self):
+        with pytest.raises(HttpError):
+            parse_request(b"GET / HTTP/1.0\r\nno-colon-here\r\n\r\n")
+
+    def test_body_truncated_to_content_length(self):
+        raw = build_response(200, b"body") + b"EXTRA"
+        _status, _headers, body = parse_response(raw)
+        assert body == b"body"
+
+    def test_method_case_normalized(self):
+        raw = build_request("get", "/")
+        method, _path, _headers = parse_request(raw)
+        assert method == "GET"
+
+
+class TestOverTcp:
+    def _serve(self):
+        from repro.net.http import HttpClientConnection, HttpServerConnection
+        engine, wire, a, b = make_pair()
+        pages = {"/": b"<h1>Plexus</h1>", "/big": bytes(30_000)}
+
+        def router(method, path):
+            if path in pages:
+                return 200, pages[path]
+            return 404, b"nope"
+
+        def on_accept(tcb):
+            HttpServerConnection(tcb, router)
+        b.tcp.listen(80, on_accept)
+        responses = []
+        conn_box = {}
+
+        def connect():
+            tcb = a.tcp.connect(b.my_ip, 80)
+            conn_box["conn"] = HttpClientConnection(
+                tcb, lambda status, body: responses.append((status, body)))
+        a.run_kernel(connect)
+        engine.run()
+        return engine, a, conn_box["conn"], responses
+
+    def test_get_over_real_tcp(self):
+        engine, a, conn, responses = self._serve()
+        a.run_kernel(lambda: conn.get("/"))
+        engine.run()
+        assert responses == [(200, b"<h1>Plexus</h1>")]
+
+    def test_large_body_spans_segments(self):
+        engine, a, conn, responses = self._serve()
+        a.run_kernel(lambda: conn.get("/big"))
+        engine.run()
+        assert responses[0][0] == 200
+        assert len(responses[0][1]) == 30_000
+
+    def test_404(self):
+        engine, a, conn, responses = self._serve()
+        a.run_kernel(lambda: conn.get("/missing"))
+        engine.run()
+        assert responses == [(404, b"nope")]
+
+    def test_pipelined_requests(self):
+        engine, a, conn, responses = self._serve()
+
+        def two():
+            conn.get("/")
+            conn.get("/missing")
+        a.run_kernel(two)
+        engine.run()
+        assert [status for status, _b in responses] == [200, 404]

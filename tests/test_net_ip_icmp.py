@@ -1,0 +1,200 @@
+"""Tests for IP (fragmentation, checksums, demux) and ICMP."""
+
+import pytest
+
+from repro.lang import VIEW
+from repro.net.headers import IPPROTO_UDP, IP_HEADER, ip_aton
+
+from nethelpers import make_pair
+
+
+def send_udp(stack, payload, dst, sport=5000, dport=6000, checksum=True):
+    def work():
+        m = stack.host.mbufs.from_bytes(payload, leading_space=64)
+        stack.udp.output(m, sport, dst, dport, checksum=checksum)
+    stack.run_kernel(work)
+
+
+class TestIpBasics:
+    def test_datagram_delivered(self):
+        engine, wire, a, b = make_pair()
+        got = []
+        b.udp.upcall = lambda m, off, *rest: got.append(bytes(m.to_bytes()[off:]))
+        send_udp(a, b"hello ip", b.my_ip)
+        engine.run()
+        assert got == [b"hello ip"]
+
+    def test_wrong_destination_dropped(self):
+        engine, wire, a, b = make_pair()
+        got = []
+        b.udp.upcall = lambda *args: got.append(args)
+
+        def work():
+            m = a.host.mbufs.from_bytes(b"stray", leading_space=64)
+            a.ip.output(m, ip_aton("10.0.0.99"), IPPROTO_UDP)
+        a.run_kernel(work)
+        # Deliver it to b anyway (mis-switched frame).
+        packets = []
+        wire.drop_filter = lambda data, hop: packets.append(data) or True
+        engine.run()
+
+        def misdeliver():
+            chain = b.host.mbufs.from_bytes(packets[0])
+            b.ip.input(chain, 0)
+        b.run_kernel(misdeliver)
+        engine.run()
+        assert got == []
+        assert b.ip.not_for_us == 1
+
+    def test_header_checksum_verified(self):
+        engine, wire, a, b = make_pair()
+        captured = []
+        wire.drop_filter = lambda data, hop: captured.append(bytearray(data)) or True
+        send_udp(a, b"x", b.my_ip)
+        engine.run()
+        packet = captured[0]
+        packet[8] ^= 0xFF  # corrupt the TTL under the checksum
+
+        def misdeliver():
+            b.ip.input(b.host.mbufs.from_bytes(bytes(packet)), 0)
+        b.run_kernel(misdeliver)
+        engine.run()
+        assert b.ip.header_errors == 1
+        assert b.ip.packets_in == 0
+
+    def test_ttl_stamped(self):
+        engine, wire, a, b = make_pair()
+        captured = []
+        wire.drop_filter = lambda data, hop: captured.append(data) or False
+        send_udp(a, b"x", b.my_ip)
+        engine.run()
+        view = VIEW(captured[0], IP_HEADER)
+        assert view.ttl == 64
+        assert view.protocol == IPPROTO_UDP
+
+    def test_idents_increment(self):
+        engine, wire, a, b = make_pair()
+        captured = []
+        wire.drop_filter = lambda data, hop: captured.append(data) or False
+        send_udp(a, b"x", b.my_ip)
+        send_udp(a, b"y", b.my_ip)
+        engine.run()
+        idents = [VIEW(p, IP_HEADER).ident for p in captured]
+        assert idents[1] == idents[0] + 1
+
+    def test_broadcast_accepted(self):
+        engine, wire, a, b = make_pair()
+        assert b.ip.accepts(0xFFFFFFFF)
+
+    def test_alias_accepted(self):
+        engine, wire, a, b = make_pair()
+        vip = ip_aton("10.0.0.200")
+        assert not b.ip.accepts(vip)
+        b.ip.add_alias(vip)
+        assert b.ip.accepts(vip)
+        b.ip.remove_alias(vip)
+        assert not b.ip.accepts(vip)
+
+    def test_multicast_group_membership(self):
+        engine, wire, a, b = make_pair()
+        group = ip_aton("224.1.2.3")
+        b.ip.join_group(group)
+        assert b.ip.accepts(group)
+        b.ip.leave_group(group)
+        assert not b.ip.accepts(group)
+
+    def test_join_non_class_d_rejected(self):
+        engine, wire, a, b = make_pair()
+        with pytest.raises(ValueError):
+            b.ip.join_group(ip_aton("10.0.0.5"))
+
+
+class TestFragmentation:
+    def test_large_datagram_fragmented_and_reassembled(self):
+        engine, wire, a, b = make_pair(mtu=600)
+        payload = bytes(range(256)) * 8  # 2048 bytes > MTU
+        got = []
+        b.udp.upcall = lambda m, off, *rest: got.append(bytes(m.to_bytes()[off:]))
+        send_udp(a, payload, b.my_ip)
+        engine.run()
+        assert got == [payload]
+        assert a.ip.fragments_out >= 4
+        assert b.ip.reassembled == 1
+
+    def test_fragment_payloads_are_8_byte_aligned(self):
+        engine, wire, a, b = make_pair(mtu=600)
+        captured = []
+        wire.drop_filter = lambda data, hop: captured.append(data) or False
+        send_udp(a, bytes(2000), b.my_ip)
+        engine.run()
+        offsets = [(VIEW(p, IP_HEADER).frag_off & 0x1FFF) * 8 for p in captured]
+        assert offsets == sorted(offsets)
+        for p in captured[:-1]:
+            assert (len(p) - 20) % 8 == 0
+
+    def test_lost_fragment_stalls_reassembly(self):
+        engine, wire, a, b = make_pair(mtu=600)
+        counter = {"n": 0}
+
+        def drop_second(data, hop):
+            counter["n"] += 1
+            return counter["n"] == 2
+        wire.drop_filter = drop_second
+        got = []
+        b.udp.upcall = lambda m, off, *rest: got.append(True)
+        send_udp(a, bytes(2000), b.my_ip)
+        engine.run()
+        assert got == []
+        assert b.ip.reassembled == 0
+
+    def test_interleaved_reassembly_by_ident(self):
+        engine, wire, a, b = make_pair(mtu=600)
+        got = []
+        b.udp.upcall = lambda m, off, *rest: got.append(bytes(m.to_bytes()[off:]))
+        send_udp(a, b"A" * 1500, b.my_ip)
+        send_udp(a, b"B" * 1500, b.my_ip)
+        engine.run()
+        assert sorted(got) == [b"A" * 1500, b"B" * 1500]
+        assert b.ip.reassembled == 2
+
+
+class TestIcmp:
+    def test_echo_request_reply(self):
+        engine, wire, a, b = make_pair()
+        replies = []
+        a.icmp.on_echo_reply = (
+            lambda ident, seq, payload, src: replies.append((ident, seq, payload)))
+        a.run_kernel(lambda: a.icmp.send_echo_request(b.my_ip, ident=7, seq=1,
+                                                      payload=b"ping!"))
+        engine.run()
+        assert replies == [(7, 1, b"ping!")]
+        assert b.icmp.echo_requests_in == 1
+        assert a.icmp.echo_replies_in == 1
+
+    def test_corrupt_icmp_dropped(self):
+        engine, wire, a, b = make_pair()
+        captured = []
+        wire.drop_filter = lambda data, hop: captured.append(bytearray(data)) or True
+        a.run_kernel(lambda: a.icmp.send_echo_request(b.my_ip, 1, 1, b"x"))
+        engine.run()
+        packet = captured[0]
+        packet[-1] ^= 0x01  # corrupt ICMP payload under its checksum
+
+        def misdeliver():
+            b.ip.input(b.host.mbufs.from_bytes(bytes(packet)), 0)
+        b.run_kernel(misdeliver)
+        engine.run()
+        assert b.icmp.echo_requests_in == 0
+
+    def test_unreachable_reporting(self):
+        engine, wire, a, b = make_pair()
+        seen = []
+        a.icmp.on_unreachable = lambda code, quote: seen.append(code)
+
+        def work():
+            m = b.host.mbufs.from_bytes(bytes(28))
+            b.icmp.send_unreachable(3, m, 0, a.my_ip)
+        b.run_kernel(work)
+        engine.run()
+        assert seen == [3]
+        assert b.icmp.unreachables_sent == 1

@@ -1,0 +1,126 @@
+"""Tests for TCP MSS negotiation (RFC 879) and Nagle's algorithm."""
+
+from repro.sim import Engine
+
+from nethelpers import DirectStack, DirectWire, make_pair
+
+PORT = 9000
+
+
+def make_mixed_mtu_pair(mtu_a: int, mtu_b: int):
+    engine = Engine()
+    wire = DirectWire(engine, delay_us=40.0)
+    a = DirectStack(engine, wire, "host-a", "10.0.0.1", mtu=mtu_a)
+    b = DirectStack(engine, wire, "host-b", "10.0.0.2", mtu=mtu_b)
+    return engine, wire, a, b
+
+
+def establish(engine, a, b):
+    accepted = []
+    b.tcp.listen(PORT, accepted.append)
+    box = {}
+    a.run_kernel(lambda: box.setdefault("t", a.tcp.connect(b.my_ip, PORT)))
+    engine.run()
+    return box["t"], accepted[0]
+
+
+class TestMssNegotiation:
+    def test_both_sides_adopt_smaller_mss(self):
+        engine, wire, a, b = make_mixed_mtu_pair(9180, 1500)
+        client, server = establish(engine, a, b)
+        assert client.mss == 1460
+        assert server.mss == 1460
+
+    def test_equal_mtus_keep_native_mss(self):
+        engine, wire, a, b = make_mixed_mtu_pair(1500, 1500)
+        client, server = establish(engine, a, b)
+        assert client.mss == server.mss == 1460
+
+    def test_big_sender_never_exceeds_small_receiver_mtu(self):
+        """Without negotiation a 9 KB segment would be IP-fragmented (or
+        worse); with it, every segment fits the small side's MTU."""
+        engine, wire, a, b = make_mixed_mtu_pair(9180, 1500)
+        got = []
+
+        def on_accept(tcb):
+            tcb.on_data = got.append
+        b.tcp.listen(PORT, on_accept)
+        box = {}
+        a.run_kernel(lambda: box.setdefault("t", a.tcp.connect(b.my_ip, PORT)))
+        engine.run()
+        a.run_kernel(lambda: box["t"].send(bytes(30_000)))
+        engine.run()
+        assert sum(len(chunk) for chunk in got) == 30_000
+        # No packet on the wire exceeded the small MTU.
+        assert max(len(packet) for _s, packet, _h in wire.sent) <= 1500
+        assert b.ip.fragments_in == 0
+
+    def test_syn_carries_mss_option(self):
+        engine, wire, a, b = make_mixed_mtu_pair(1500, 1500)
+        establish(engine, a, b)
+        syn = wire.sent[0][1]
+        header_len = (syn[20 + 12] >> 4) * 4
+        assert header_len == 24  # 20 base + 4-byte MSS option
+        options = syn[20 + 20:20 + header_len]
+        assert options[0] == 2 and options[1] == 4
+        assert int.from_bytes(options[2:4], "big") == 1460
+
+    def test_malformed_options_ignored(self):
+        from repro.net.tcp.protocol import TcpProto
+        assert TcpProto._parse_mss_option(b"\x02\x09") is None
+        assert TcpProto._parse_mss_option(b"\x00\x02\x04\x05\xb4") is None
+        assert TcpProto._parse_mss_option(
+            b"\x01\x01\x02\x04\x05\xb4") == 1460
+
+
+class TestNagle:
+    def _small_writes(self, nodelay: bool):
+        engine, wire, a, b = make_pair()
+        got = []
+
+        def on_accept(tcb):
+            tcb.on_data = got.append
+        b.tcp.listen(PORT, on_accept)
+        box = {}
+        a.run_kernel(lambda: box.setdefault("t", a.tcp.connect(b.my_ip, PORT)))
+        engine.run()
+        client = box["t"]
+        client.nodelay = nodelay
+
+        def has_payload(packet):
+            return len(packet) > 40  # IP (20) + TCP (>=20) + data
+        data_segments_before = sum(
+            1 for _s, p, _h in wire.sent if has_payload(p))
+
+        def burst():
+            for _ in range(10):
+                client.send(b"tiny")
+        a.run_kernel(burst)
+        engine.run()
+        data_segments = sum(
+            1 for _s, p, _h in wire.sent if has_payload(p)) - data_segments_before
+        return b"".join(got), data_segments, client
+
+    def test_nagle_coalesces_small_writes(self):
+        delivered, segments, _client = self._small_writes(nodelay=False)
+        assert delivered == b"tiny" * 10
+        # First write flies immediately; the rest coalesce behind the ACK.
+        assert segments <= 3
+
+    def test_nodelay_sends_each_write(self):
+        delivered, segments, _client = self._small_writes(nodelay=True)
+        assert delivered == b"tiny" * 10
+        assert segments >= 9
+
+    def test_nagle_never_delays_when_idle(self):
+        """With nothing in flight a small write goes out at once."""
+        engine, wire, a, b = make_pair()
+        client, server = establish(engine, a, b)
+        assert not client.nodelay
+        before = len(wire.sent)
+        a.run_kernel(lambda: client.send(b"x"))
+        # Well before any delayed-ACK or retransmit timer could matter,
+        # the segment is on the wire.
+        engine.run(until=engine.now + 300.0)
+        assert len(wire.sent) == before + 1
+        engine.run()

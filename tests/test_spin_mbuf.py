@@ -1,0 +1,213 @@
+"""Tests for Berkeley mbufs."""
+
+import pytest
+
+from repro.lang import ReadOnlyBuffer, ReadOnlyViolation
+from repro.spin import MCLBYTES, MLEN, Mbuf, MbufError
+from repro.spin.kernel import SpinKernel
+
+
+class TestConstruction:
+    def test_small_get(self):
+        m = Mbuf.get(leading_space=16)
+        assert m.len == 0
+        assert m.off == 16
+
+    def test_get_cluster(self):
+        m = Mbuf.get_cluster()
+        assert len(m._storage) == MCLBYTES
+
+    def test_leading_space_bounds(self):
+        with pytest.raises(MbufError):
+            Mbuf.get(leading_space=MLEN)
+
+    def test_from_bytes_small(self):
+        m = Mbuf.from_bytes(b"hello", leading_space=8)
+        assert m.to_bytes() == b"hello"
+        assert m.pkthdr.length == 5
+
+    def test_from_bytes_spans_clusters(self):
+        data = bytes(range(256)) * 20  # 5120 bytes > MCLBYTES
+        m = Mbuf.from_bytes(data)
+        assert m.to_bytes() == data
+        assert sum(1 for _ in m.chain()) >= 3
+        assert m.pkthdr.length == len(data)
+
+    def test_from_bytes_records_rcvif(self):
+        m = Mbuf.from_bytes(b"x", rcvif="nic0")
+        assert m.pkthdr.rcvif == "nic0"
+
+    def test_length_sums_chain(self):
+        m = Mbuf.from_bytes(bytes(5000))
+        assert m.length() == 5000
+
+
+class TestPrepend:
+    def test_prepend_uses_headroom(self):
+        m = Mbuf.from_bytes(b"payload", leading_space=32)
+        chain_before = sum(1 for _ in m.chain())
+        m2 = m.prepend(b"HDR")
+        assert m2 is m  # in place
+        assert sum(1 for _ in m2.chain()) == chain_before
+        assert m2.to_bytes() == b"HDRpayload"
+
+    def test_prepend_without_headroom_allocates(self):
+        m = Mbuf.from_bytes(b"payload", leading_space=0)
+        m2 = m.prepend(b"HDR")
+        assert m2 is not m
+        assert m2.to_bytes() == b"HDRpayload"
+        assert m2.pkthdr is not None and m2.pkthdr.length == 10
+        assert m.pkthdr is None  # header moved to the new head
+
+    def test_stacked_prepends_model_protocol_stack(self):
+        m = Mbuf.from_bytes(b"data", leading_space=64)
+        m = m.prepend(b"UDP8----")
+        m = m.prepend(b"IP-HEADER-IP-HEADER-")
+        m = m.prepend(b"ETHERNET-H31410")
+        assert m.to_bytes().endswith(b"data")
+        assert m.pkthdr.length == 4 + 8 + 20 + 15
+
+
+class TestAdjAndPullup:
+    def test_adj_front(self):
+        m = Mbuf.from_bytes(b"HEADERpayload")
+        m.adj(6)
+        assert m.to_bytes() == b"payload"
+        assert m.pkthdr.length == 7
+
+    def test_adj_back(self):
+        m = Mbuf.from_bytes(b"payloadCRC4")
+        m.adj(-4)
+        assert m.to_bytes() == b"payload"
+
+    def test_adj_across_chain(self):
+        m = Mbuf.from_bytes(bytes(3000))
+        m.adj(2500)
+        assert m.length() == 500
+
+    def test_adj_too_much_rejected(self):
+        m = Mbuf.from_bytes(b"abc")
+        with pytest.raises(MbufError):
+            m.adj(10)
+
+    def test_pullup_noop_when_contiguous(self):
+        m = Mbuf.from_bytes(b"0123456789")
+        assert m.pullup(5) is m
+
+    def test_pullup_linearizes(self):
+        data = bytes(range(256)) * 12  # spans clusters
+        m = Mbuf.from_bytes(data)
+        assert m.len < 2000  # head alone does not cover the request
+        m2 = m.pullup(2000)
+        assert m2.len >= 2000
+        assert m2.to_bytes() == data
+
+    def test_pullup_beyond_cluster_rejected(self):
+        m = Mbuf.from_bytes(bytes(5000))
+        with pytest.raises(MbufError, match="cluster"):
+            m.pullup(3000)
+
+    def test_pullup_beyond_length_rejected(self):
+        m = Mbuf.from_bytes(b"short")
+        with pytest.raises(MbufError):
+            m.pullup(100)
+
+
+class TestAppend:
+    def test_append_in_place(self):
+        m = Mbuf.from_bytes(b"abc", leading_space=0)
+        m.append_bytes(b"def")
+        assert m.to_bytes() == b"abcdef"
+        assert m.pkthdr.length == 6
+
+    def test_append_grows_chain(self):
+        m = Mbuf.from_bytes(bytes(MCLBYTES - 10))
+        m.append_bytes(bytes(100))
+        assert m.length() == MCLBYTES + 90
+
+
+class TestReadOnly:
+    def test_freeze_marks_whole_chain(self):
+        m = Mbuf.from_bytes(bytes(5000))
+        m.freeze()
+        assert all(link.frozen for link in m.chain())
+
+    def test_frozen_data_is_readonly_buffer(self):
+        m = Mbuf.from_bytes(b"abc").freeze()
+        assert isinstance(m.data, ReadOnlyBuffer)
+        with pytest.raises(ReadOnlyViolation):
+            m.data[0] = 1
+
+    @pytest.mark.parametrize("mutation", [
+        lambda m: m.prepend(b"x"),
+        lambda m: m.adj(1),
+        lambda m: m.pullup(2),
+        lambda m: m.append_bytes(b"x"),
+        lambda m: m.writable_data(),
+    ])
+    def test_frozen_mutations_rejected(self, mutation):
+        m = Mbuf.from_bytes(b"abcdef").freeze()
+        with pytest.raises(ReadOnlyViolation):
+            mutation(m)
+
+    def test_copy_packet_of_frozen_is_writable(self):
+        m = Mbuf.from_bytes(b"abc").freeze()
+        clone = m.copy_packet()
+        clone.writable_data()[0] = ord("X")
+        assert clone.to_bytes() == b"Xbc"
+        assert m.to_bytes() == b"abc"
+
+    def test_to_bytes_works_frozen(self):
+        m = Mbuf.from_bytes(b"abc").freeze()
+        assert m.to_bytes() == b"abc"
+
+
+class TestSharing:
+    def test_share_is_zero_copy_and_frozen(self):
+        m = Mbuf.from_bytes(bytes(3000))
+        twin = m.share()
+        assert twin.frozen
+        assert twin.to_bytes() == m.to_bytes()
+
+    def test_share_bumps_cluster_refs(self):
+        m = Mbuf.from_bytes(bytes(3000))
+        clusters = [link._cluster for link in m.chain() if link._cluster]
+        before = [c.refs for c in clusters]
+        twin = m.share()
+        assert [c.refs for c in clusters] == [r + 1 for r in before]
+        twin.free()
+        assert [c.refs for c in clusters] == before
+
+    def test_share_sees_original_mutations(self):
+        m = Mbuf.from_bytes(bytes(3000))
+        twin = m.share()
+        m.writable_data()[0] = 0xEE
+        assert twin.to_bytes()[0] == 0xEE  # aliases, by design
+
+
+class TestPool:
+    def test_pool_charges_cpu(self, engine):
+        kernel = SpinKernel(engine, "h")
+        marker = kernel.cpu.begin()
+        m = kernel.mbufs.from_bytes(bytes(5000))
+        alloc_cost = kernel.cpu.end(marker)
+        assert alloc_cost > 0
+        assert kernel.mbufs.allocated == sum(1 for _ in m.chain())
+
+    def test_pool_copy_charges_per_byte(self, engine):
+        kernel = SpinKernel(engine, "h")
+        marker = kernel.cpu.begin()
+        m = kernel.mbufs.from_bytes(bytes(1000))
+        base = kernel.cpu.end(marker)
+        marker = kernel.cpu.begin()
+        kernel.mbufs.copy_packet(m)
+        copy_cost = kernel.cpu.end(marker)
+        assert copy_cost > base  # the copy adds per-byte work
+
+    def test_pool_free_accounts(self, engine):
+        kernel = SpinKernel(engine, "h")
+        marker = kernel.cpu.begin()
+        m = kernel.mbufs.from_bytes(bytes(100))
+        kernel.mbufs.free(m)
+        kernel.cpu.end(marker)
+        assert kernel.mbufs.freed == kernel.mbufs.allocated

@@ -1,0 +1,61 @@
+"""Tests for the user-process model of the monolithic OS."""
+
+import pytest
+
+from repro.unixos import UnixKernel, UserProcess
+
+
+@pytest.fixture
+def unix_host(engine):
+    return UnixKernel(engine, "u1")
+
+
+class TestUserProcess:
+    def test_app_compute_charges_app_category(self, engine, unix_host):
+        proc = UserProcess(unix_host, "worker")
+
+        def main():
+            yield from proc.app_compute(500.0)
+            return "finished"
+        proc.start(main())
+        engine.run()
+        assert proc.finished
+        assert unix_host.cpu.category_times.get("app") == pytest.approx(500.0)
+        assert unix_host.cpu.busy_time == pytest.approx(500.0)
+
+    def test_process_exceptions_surface(self, engine, unix_host):
+        proc = UserProcess(unix_host, "crasher")
+
+        def main():
+            yield from proc.app_compute(1.0)
+            raise ValueError("app bug")
+        proc.start(main())
+        with pytest.raises(ValueError, match="app bug"):
+            engine.run()
+
+    def test_two_processes_share_cpu(self, engine, unix_host):
+        finish = {}
+
+        def make(name):
+            proc = UserProcess(unix_host, name)
+
+            def main():
+                yield from proc.app_compute(100.0)
+                finish[name] = engine.now
+            return proc, main
+        for name in ("a", "b"):
+            proc, main = make(name)
+            proc.start(main())
+        engine.run()
+        # One CPU: the second process finishes after the first.
+        assert finish["b"] == pytest.approx(200.0)
+
+    def test_not_finished_before_run(self, engine, unix_host):
+        proc = UserProcess(unix_host, "slow")
+
+        def main():
+            yield from proc.app_compute(10.0)
+        proc.start(main())
+        assert not proc.finished
+        engine.run()
+        assert proc.finished
