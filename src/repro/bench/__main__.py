@@ -6,11 +6,38 @@ Usage::
     python -m repro.bench --full      # the numbers EXPERIMENTS.md records
     python -m repro.bench --charts    # ASCII renderings of figures 5-7
     python -m repro.bench --check     # golden-number regression check
+    python -m repro.bench --wallclock # simulator wall-clock suite
+                                      # (writes BENCH_wallclock.json;
+                                      #  combine with --full for the
+                                      #  committed scales)
 """
 
 import sys
 
 from .report import run_everything
+
+
+def _wallclock(quick: bool) -> int:
+    from .wallclock import run_suite, write_report
+    suite = run_suite(quick=quick, repeats=3)
+    path = write_report(suite)
+    failed = False
+    for name in sorted(suite["workloads"]):
+        record = suite["workloads"][name]
+        row = suite.get("comparison", {}).get(name, {})
+        line = "%-18s %10.0f ev/s  %8.3f s wall" % (
+            name, record["events_per_sec"], record["wall_s"])
+        if "events_per_sec_vs_prechange" in row:
+            line += "  %.2fx vs prechange" % row["events_per_sec_vs_prechange"]
+        print(line)
+        for warning in row.get("warnings", ()):
+            print("  WARN: %s" % warning)
+        for error in row.get("errors", ()):
+            print("  ERROR: %s" % error)
+            failed = True
+    print("\nreport written to %s" % path)
+    # Fingerprint drift (simulated time changed) fails; slowdowns only warn.
+    return 1 if failed else 0
 
 
 def _charts() -> str:
@@ -29,14 +56,21 @@ def main(argv) -> int:
     if "--charts" in argv:
         print(_charts())
         return 0
+    if "--wallclock" in argv:
+        return _wallclock(quick="--full" not in argv)
     if "--check" in argv:
-        from .regression import check_all
+        from .regression import check_all, wallclock_smoke
         from .report import format_table
         rows = check_all()
         print(format_table(rows, ["metric", "expected", "measured",
                                   "deviation", "tolerance", "ok"],
                            title="Golden-number regression check"))
-        return 0 if all(row["ok"] for row in rows) else 1
+        smoke = wallclock_smoke()
+        print(format_table(smoke, ["metric", "expected", "measured",
+                                   "deviation", "tolerance", "ok"],
+                           title="Wall-clock smoke (slowdown warns, "
+                                 "fingerprint drift fails)"))
+        return 0 if all(row["ok"] for row in rows + smoke) else 1
     quick = "--full" not in argv
     print("Regenerating every table and figure from the paper "
           "(%s pass)...\n" % ("quick" if quick else "full"))

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-__all__ = ["GOLDEN", "check_all", "check_one"]
+__all__ = ["GOLDEN", "check_all", "check_one", "wallclock_smoke"]
 
 
 def _fig5(device: str, system: str, **kwargs):
@@ -95,3 +95,35 @@ def check_one(name: str) -> Dict:
 def check_all(names: List[str] = None) -> List[Dict]:
     """Measure every golden metric (or the named subset)."""
     return [check_one(name) for name in (names or sorted(GOLDEN))]
+
+
+def wallclock_smoke() -> List[Dict]:
+    """Quick wall-clock suite vs the committed baseline, as check rows.
+
+    Same row shape as :func:`check_all` so ``--check`` can print one
+    table.  ``ok`` is False only on simulated-time fingerprint drift;
+    events/sec below the >20% slowdown threshold sets ``warned`` but
+    leaves ``ok`` True, because host-side throughput is not a golden
+    number -- it varies with machine load.
+    """
+    from .wallclock import compare_to_baseline, load_baseline, run_suite
+
+    suite = run_suite(quick=True, repeats=3)
+    baseline = load_baseline()
+    rows: List[Dict] = []
+    if baseline is None:
+        return [{"metric": "wallclock.baseline", "expected": "present",
+                 "measured": "missing", "deviation": None, "tolerance": None,
+                 "ok": True, "warned": True}]
+    for name, row in sorted(compare_to_baseline(suite, baseline).items()):
+        ratio = row.get("events_per_sec_vs_baseline")
+        rows.append({
+            "metric": "wallclock.%s.events_per_sec" % name,
+            "expected": baseline["quick"]["workloads"][name]["events_per_sec"],
+            "measured": suite["workloads"][name]["events_per_sec"],
+            "deviation": (None if ratio is None else abs(1.0 - ratio)),
+            "tolerance": 0.20,
+            "ok": not row["errors"],
+            "warned": bool(row["warnings"]),
+        })
+    return rows

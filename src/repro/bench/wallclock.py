@@ -1,0 +1,376 @@
+"""Wall-clock performance of the simulator itself.
+
+Every other module in :mod:`repro.bench` measures *simulated* time -- the
+microseconds the modeled Alpha would take.  This one measures how fast the
+simulator's substrate runs on the host machine, because wall-clock
+throughput is what gates experiment scale: a million-packet Figure 6
+sweep is bound by events/sec of the engine, not by the model.  Full-system
+simulators treat simulator throughput as a first-class metric for the
+same reason (gem5, ns-3-class tools).
+
+Three canned, fully deterministic workloads:
+
+* ``dispatcher_micro`` -- raw SPIN event dispatch: one event, eight
+  handlers (half guarded), raised thousands of times under a single CPU
+  accumulator.  No engine events at all; isolates dispatcher overhead.
+* ``udp_pingpong`` -- the Figure 5 inner loop: UDP ping-pong between two
+  in-kernel Plexus extensions over simulated Ethernet.  Exercises the
+  whole packet path (mbufs, VIEW headers, checksum, dispatcher, engine).
+* ``tcp_bulk`` -- the section 4.2 inner loop: bulk TCP transfer over
+  simulated ATM.  Checksum- and segmentation-heavy.
+
+Each workload returns both host-side metrics (``wall_s``,
+``events_per_sec``, ``packets_per_sec``) and a **fingerprint** of
+simulated-time outputs (final clock value, mean RTT, delivered Mb/s...).
+The fingerprint is the determinism guard: any substrate optimization must
+leave every fingerprint field *bit-identical*, because the simulation is
+deterministic and wall-clock work must never leak into simulated time.
+
+``python -m repro.bench --wallclock`` runs the suite and writes
+``BENCH_wallclock.json`` at the repository root (schema documented in
+EXPERIMENTS.md).  ``benchmarks/wallclock_baseline.json`` holds the
+committed baseline -- including the measured performance of the
+pre-optimization substrate -- that :func:`compare_to_baseline` checks
+against.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional
+
+__all__ = [
+    "WORKLOADS",
+    "run_workload",
+    "run_suite",
+    "fingerprints_only",
+    "compare_to_baseline",
+    "write_report",
+    "REPORT_SCHEMA_VERSION",
+    "REPORT_FILENAME",
+    "BASELINE_PATH",
+]
+
+REPORT_SCHEMA_VERSION = 1
+REPORT_FILENAME = "BENCH_wallclock.json"
+
+#: repo-root and committed-baseline locations, resolved relative to this file
+#: (src/repro/bench/wallclock.py -> repo root is three levels up from repro/).
+_REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", ".."))
+BASELINE_PATH = os.path.join(_REPO_ROOT, "benchmarks",
+                             "wallclock_baseline.json")
+
+
+# ---------------------------------------------------------------------------
+# workloads
+# ---------------------------------------------------------------------------
+
+def _dispatcher_micro(scale: int) -> Dict:
+    """Raw dispatch: 8 handlers (4 guarded), ``scale`` raises."""
+    from ..sim import Engine
+    from ..spin.kernel import SpinKernel
+
+    engine = Engine()
+    kernel = SpinKernel(engine, "wallclock-micro")
+    event = kernel.dispatcher.declare("Wallclock.Micro")
+
+    hits = [0]
+
+    def handler(value):
+        hits[0] += 1
+
+    def make_guard(wanted):
+        def guard(value):
+            return value % 4 == wanted
+        return guard
+
+    for index in range(4):
+        kernel.dispatcher.install(event, handler)
+        kernel.dispatcher.install(event, handler, guard=make_guard(index))
+
+    wall0 = time.perf_counter()
+    marker = kernel.cpu.begin()
+    raise_event = kernel.dispatcher.raise_event
+    for i in range(scale):
+        raise_event(event, i)
+    charged = kernel.cpu.end(marker)
+    wall = time.perf_counter() - wall0
+
+    invocations = kernel.dispatcher.total_invocations
+    return {
+        "wall_s": wall,
+        # no engine events fire here; "events" are handler dispatches
+        "events": invocations,
+        "events_per_sec": invocations / wall if wall > 0 else 0.0,
+        "packets": 0,
+        "packets_per_sec": 0.0,
+        "fingerprint": {
+            "raises": scale,
+            "invocations": invocations,
+            "charged_us": charged,
+        },
+    }
+
+
+def _udp_pingpong(scale: int) -> Dict:
+    """Figure 5 inner loop: ``scale`` UDP round trips over Ethernet."""
+    from ..core.manager import Credential
+    from ..lang.ephemeral import ephemeral
+    from ..sim import Signal
+    from .testbed import build_testbed
+
+    bed = build_testbed("spin", "ethernet", deliver_mode="interrupt")
+    engine = bed.engine
+    client_stack, server_stack = bed.stacks
+    client_host = bed.hosts[0]
+
+    reply_seen = Signal(engine)
+    server_ep = None
+
+    @ephemeral
+    def server_handler(m, off, src_ip, src_port, dst_ip, dst_port):
+        payload = bytes(m.to_bytes()[off:])
+        server_ep.send(payload, src_ip, src_port)
+
+    @ephemeral
+    def client_handler(m, off, src_ip, src_port, dst_ip, dst_port):
+        client_host.defer(reply_seen.fire)
+
+    server_ep = server_stack.udp_manager.bind(
+        Credential("pong"), 7002, server_handler)
+    client_ep = client_stack.udp_manager.bind(
+        Credential("ping"), 7001, client_handler)
+
+    samples: List[float] = []
+    payload = bytes(8)
+
+    def ping_loop():
+        for _ in range(scale):
+            start = engine.now
+            waiter = reply_seen.wait()
+            yield from client_host.kernel_path(
+                lambda: client_ep.send(payload, bed.ip(1), 7002))
+            yield waiter
+            samples.append(engine.now - start)
+
+    wall0 = time.perf_counter()
+    engine.run_process(ping_loop(), name="wallclock-ping")
+    wall = time.perf_counter() - wall0
+
+    events = engine.events_processed
+    packets = 2 * scale  # one request + one reply per trip
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "packets": packets,
+        "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        "fingerprint": {
+            "trips": scale,
+            "mean_rtt_us": sum(samples) / len(samples),
+            "final_now_us": engine.now,
+        },
+    }
+
+
+def _tcp_bulk(scale: int) -> Dict:
+    """Section 4.2 inner loop: bulk TCP of ``scale`` bytes over ATM."""
+    from ..core.manager import Credential
+    from ..hw.alpha import MICROSECONDS_PER_SECOND
+    from ..sim import Signal
+    from .testbed import build_testbed
+
+    bed = build_testbed("spin", "atm", deliver_mode="interrupt")
+    engine = bed.engine
+    sender_stack, receiver_stack = bed.stacks
+    sender_host, receiver_host = bed.hosts
+
+    state = {"received": 0, "segments": 0, "first_byte_at": None,
+             "last_byte_at": None, "sent": 0}
+    done = Signal(engine)
+
+    def on_accept(tcb):
+        def on_data(data: bytes) -> None:
+            if state["first_byte_at"] is None:
+                state["first_byte_at"] = engine.now
+            state["received"] += len(data)
+            state["segments"] += 1
+            state["last_byte_at"] = engine.now
+            if state["received"] >= scale:
+                receiver_host.defer(done.fire)
+        tcb.on_data = on_data
+
+    receiver_stack.tcp_manager.listen(Credential("sink"), 9000, on_accept)
+
+    chunk = bytes(32 * 1024)
+
+    def pump(tcb) -> None:
+        while state["sent"] < scale and tcb.send_space > 0:
+            take = min(len(chunk), scale - state["sent"])
+            accepted = tcb.send(chunk[:take])
+            state["sent"] += accepted
+            if accepted == 0:
+                break
+
+    def start():
+        def work():
+            tcb = sender_stack.tcp_manager.connect(
+                Credential("source"), bed.ip(1), 9000)
+            tcb.on_established = lambda: pump(tcb)
+            tcb.on_sendable = lambda space: pump(tcb)
+        yield from sender_host.kernel_path(work)
+        yield done.wait()
+
+    wall0 = time.perf_counter()
+    engine.run_process(start(), name="wallclock-tcp")
+    wall = time.perf_counter() - wall0
+
+    elapsed = state["last_byte_at"] - (state["first_byte_at"] or 0.0)
+    mbps = (state["received"] * 8.0 / elapsed * MICROSECONDS_PER_SECOND / 1e6
+            if elapsed > 0 else 0.0)
+    events = engine.events_processed
+    packets = state["segments"]
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "packets": packets,
+        "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        "fingerprint": {
+            "bytes": state["received"],
+            "segments": state["segments"],
+            "mbps": mbps,
+            "final_now_us": engine.now,
+        },
+    }
+
+
+#: name -> (workload fn, quick scale, full scale).  Scales are part of the
+#: fingerprint contract: changing them changes the expected fingerprints.
+WORKLOADS: Dict[str, tuple] = {
+    "dispatcher_micro": (_dispatcher_micro, 2_000, 20_000),
+    "udp_pingpong": (_udp_pingpong, 60, 400),
+    "tcp_bulk": (_tcp_bulk, 100_000, 400_000),
+}
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+def run_workload(name: str, quick: bool = False,
+                 repeats: int = 1) -> Dict:
+    """Run one workload; returns its metrics + fingerprint record.
+
+    With ``repeats > 1`` the best (fastest) wall-clock repeat is reported
+    -- standard practice for throughput numbers -- and every repeat's
+    fingerprint is checked for bit-identical equality, which is the
+    in-process half of the determinism guard.
+    """
+    fn, quick_scale, full_scale = WORKLOADS[name]
+    scale = quick_scale if quick else full_scale
+    best: Optional[Dict] = None
+    for _ in range(max(1, repeats)):
+        record = fn(scale)
+        if best is not None and record["fingerprint"] != best["fingerprint"]:
+            raise AssertionError(
+                "workload %r is nondeterministic: fingerprint %r != %r"
+                % (name, record["fingerprint"], best["fingerprint"]))
+        if best is None or record["wall_s"] < best["wall_s"]:
+            best = record
+    best["name"] = name
+    best["scale"] = scale
+    best["quick"] = quick
+    return best
+
+
+def run_suite(quick: bool = False, repeats: int = 1,
+              names=None) -> Dict:
+    """Run every workload; returns the full report dict."""
+    workloads = {}
+    for name in (names or sorted(WORKLOADS)):
+        workloads[name] = run_workload(name, quick=quick, repeats=repeats)
+    report = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "generated_by": "python -m repro.bench --wallclock",
+        "quick": quick,
+        "workloads": workloads,
+    }
+    baseline = load_baseline()
+    if baseline is not None:
+        report["comparison"] = compare_to_baseline(report, baseline)
+    return report
+
+
+def fingerprints_only(quick: bool = True) -> Dict[str, Dict]:
+    """Just the simulated-time fingerprints (for the determinism tests)."""
+    return {name: run_workload(name, quick=quick)["fingerprint"]
+            for name in sorted(WORKLOADS)}
+
+
+# ---------------------------------------------------------------------------
+# baseline comparison (CI smoke: warn, don't fail, on slowdown)
+# ---------------------------------------------------------------------------
+
+def load_baseline(path: str = None) -> Optional[Dict]:
+    path = path or BASELINE_PATH
+    try:
+        with open(path) as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
+
+
+def compare_to_baseline(report: Dict, baseline: Dict,
+                        slowdown_warn: float = 0.20) -> Dict:
+    """Compare a fresh report against the committed baseline.
+
+    Returns a record per workload with the events/sec speedup versus both
+    the committed post-optimization numbers and the recorded pre-change
+    (per-byte checksum, uncached dispatcher, un-pooled engine) numbers.
+    Fingerprint mismatches are *errors* (simulated time drifted);
+    slowdowns beyond ``slowdown_warn`` are *warnings* only, because
+    wall-clock numbers vary with host load.
+    """
+    mode = "quick" if report["quick"] else "full"
+    base_workloads = baseline.get(mode, {}).get("workloads", {})
+    prechange = baseline.get(mode, {}).get("prechange", {})
+    rows = {}
+    for name, record in report["workloads"].items():
+        base = base_workloads.get(name)
+        row = {"workload": name, "ok": True, "warnings": [], "errors": []}
+        if base is None:
+            row["warnings"].append("no committed baseline for %r" % name)
+            rows[name] = row
+            continue
+        if record["fingerprint"] != base["fingerprint"]:
+            row["ok"] = False
+            row["errors"].append(
+                "simulated-time fingerprint drifted: %r != baseline %r"
+                % (record["fingerprint"], base["fingerprint"]))
+        if base.get("events_per_sec"):
+            ratio = record["events_per_sec"] / base["events_per_sec"]
+            row["events_per_sec_vs_baseline"] = ratio
+            if ratio < 1.0 - slowdown_warn:
+                row["warnings"].append(
+                    "events/sec is %.0f%% of committed baseline (warn "
+                    "threshold %.0f%%)" % (100 * ratio,
+                                           100 * (1.0 - slowdown_warn)))
+        pre = prechange.get(name)
+        if pre and pre.get("events_per_sec"):
+            row["events_per_sec_vs_prechange"] = (
+                record["events_per_sec"] / pre["events_per_sec"])
+        rows[name] = row
+    return rows
+
+
+def write_report(report: Dict, path: str = None) -> str:
+    """Write the report JSON at the repo root; returns the path."""
+    path = path or os.path.join(_REPO_ROOT, REPORT_FILENAME)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

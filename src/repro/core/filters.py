@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Collection, FrozenSet
 
-from ..lang.view import VIEW
+from ..lang.view import VIEW, raw_storage
 from ..net.headers import (
     ETHERNET_HEADER,
     IPPROTO_TCP,
@@ -43,13 +43,20 @@ __all__ = [
 
 
 def ethertype_guard(ethertype: int) -> Callable:
-    """Match Ethernet frames with the given type field (Figure 2)."""
+    """Match Ethernet frames with the given type field (Figure 2).
+
+    This guard runs on *every* received frame, so instead of building a
+    full ``VIEW`` per packet it reads the one field it tests through the
+    layout's compiled scalar accessor -- the same decode a
+    ``VIEW(m.data, Ethernet.T).type`` performs, without the view object.
+    """
+    header_size = ETHERNET_HEADER.size
+    get_type, type_off = ETHERNET_HEADER.scalar_getter("type")
 
     def guard(nic, m: Mbuf) -> bool:
-        if m.length() < ETHERNET_HEADER.size:
+        if m.length() < header_size:
             return False
-        header = VIEW(m.data, ETHERNET_HEADER)
-        return header.type == ethertype
+        return get_type(raw_storage(m.data), type_off)[0] == ethertype
 
     guard.__name__ = "ethertype_0x%04x" % ethertype
     return guard

@@ -38,6 +38,13 @@ class CostTable:
     procedure_call: float = 0.15          # call + return, warm cache
     dispatch_per_handler: float = 0.30    # SPIN event dispatch ~= 1-2 calls
     guard_eval: float = 0.25              # evaluate one guard predicate
+    handler_install: float = 2.0          # splice a handler into a running
+                                          # event's table
+    handler_uninstall: float = 1.5        # unsplice + table compaction
+    link_extension: float = 2.0           # per-link fixed symbol-table work
+    link_per_import: float = 0.5          # resolve one imported symbol
+    unlink_extension: float = 3.0         # tear an extension out of a
+                                          # running system
     syscall_trap: float = 9.0             # user->kernel->user trap pair
     context_switch: float = 140.0          # save/restore + scheduler pass
     process_wakeup: float = 25.0          # make a blocked process runnable

@@ -58,6 +58,10 @@ class CPU:
         self.category_times: Dict[str, float] = {}
         self._stack: List[float] = []
         self._consumed_slices = 0
+        # Charges issued with no execution context open (see try_charge):
+        # counted so skipped work is visible instead of silently dropped.
+        self.uncontexted_charges = 0
+        self.uncontexted_charge_us: float = 0.0
 
     # -- the charge accumulator ------------------------------------------
 
@@ -70,17 +74,41 @@ class CPU:
         """Charge CPU work to the innermost open accumulator."""
         if microseconds < 0:
             raise ValueError("cannot charge negative time: %r" % microseconds)
-        if not self._stack:
+        stack = self._stack
+        if not stack:
             raise ChargeError(
                 "cpu.charge() outside begin()/end(); protocol code must run "
                 "under a kernel execution context")
-        self._stack[-1] += microseconds
-        self.category_times[category] = (
-            self.category_times.get(category, 0.0) + microseconds)
+        stack[-1] += microseconds
+        times = self.category_times
+        try:
+            times[category] += microseconds
+        except KeyError:
+            times[category] = microseconds
 
     def charge_bytes(self, nbytes: int, per_byte: float,
                      category: str = "copy") -> None:
         self.charge(nbytes * per_byte, category)
+
+    def try_charge(self, microseconds: float, category: str = "kernel") -> bool:
+        """Charge when an execution context is open; safe no-op otherwise.
+
+        Control-plane operations (install/uninstall, link/unlink) can be
+        invoked both from inside a kernel path and from test or setup code
+        that runs outside any accumulator.  Call sites charge
+        *unconditionally* through this method; when no context is open
+        the charge is recorded on :attr:`uncontexted_charges` /
+        :attr:`uncontexted_charge_us` rather than silently skipped.
+        Returns True when the charge landed in an accumulator.
+        """
+        if microseconds < 0:
+            raise ValueError("cannot charge negative time: %r" % microseconds)
+        if self._stack:
+            self.charge(microseconds, category)
+            return True
+        self.uncontexted_charges += 1
+        self.uncontexted_charge_us += microseconds
+        return False
 
     def recharge(self, microseconds: float) -> None:
         """Move already-categorized time into the innermost accumulator.
@@ -120,7 +148,7 @@ class CPU:
             return
         request = self.resource.request(priority)
         yield request
-        yield self.engine.timeout(microseconds)
+        yield self.engine.pooled_timeout(microseconds)
         self.busy_time += microseconds
         self._consumed_slices += 1
         request.release()

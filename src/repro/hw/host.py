@@ -105,17 +105,26 @@ class Host:
 
         Yields inside a simulation process; returns ``fn``'s return value.
         """
-        request = self.cpu.resource.request(priority)
+        cpu = self.cpu
+        request = cpu.resource.request(priority)
         yield request
-        marker = self.cpu.begin()
+        marker = cpu.begin()
         try:
             result = fn(*args)
         finally:
-            amount = self.cpu.end(marker)
-            deferred = self.take_deferred()
+            amount = cpu.end(marker)
+            # Snapshot-and-reset, without allocating a fresh list when
+            # nothing was deferred.  The empty snapshot must not alias the
+            # live list: actions deferred while we sleep on the timeout
+            # below belong to the *next* flush.
+            deferred = self._deferred
+            if deferred:
+                self._deferred = []
+            else:
+                deferred = ()
         if amount > 0:
-            yield self.engine.timeout(amount)
-            self.cpu.busy_time += amount
+            yield self.engine.pooled_timeout(amount)
+            cpu.busy_time += amount
         request.release()
         for action in deferred:
             action()

@@ -130,24 +130,28 @@ class EthernetSegment(_Medium):
 
     def transmit(self, sender, frame: Frame) -> Generator:
         """Occupy the bus for the frame's wire time, then deliver."""
+        engine = self.engine
         grant = self._medium.request()
         yield grant
-        yield self.engine.timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
+        yield engine.pooled_timeout(
+            frame.wire_bytes * 8.0 / self.bandwidth_bps * MICROSECONDS_PER_SECOND)
         grant.release()
-        self._account(frame)
-        frame = self._apply_faults(frame)
-        if frame is None:
-            return
+        self.frames_carried += 1
+        self.bytes_carried += frame.wire_bytes
+        if self._fault_rng is not None:
+            frame = self._apply_faults(frame)
+            if frame is None:
+                return
         for nic in self.nics:
-            if nic is sender:
-                continue
-            self._deliver_later(nic, frame)
+            if nic is not sender:
+                engine.process(self._delivery(nic, frame), name="eth-deliver")
 
     def _deliver_later(self, nic, frame: Frame) -> None:
-        def delivery() -> Generator:
-            yield self.engine.timeout(self.propagation_us)
-            nic.frame_on_wire(frame)
-        self.engine.process(delivery(), name="eth-deliver")
+        self.engine.process(self._delivery(nic, frame), name="eth-deliver")
+
+    def _delivery(self, nic, frame: Frame) -> Generator:
+        yield self.engine.pooled_timeout(self.propagation_us)
+        nic.frame_on_wire(frame)
 
 
 class PointToPointLink(_Medium):
@@ -175,13 +179,13 @@ class PointToPointLink(_Medium):
         lane = self._direction[id(sender)]
         grant = lane.request()
         yield grant
-        yield self.engine.timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
+        yield self.engine.pooled_timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
         grant.release()
         self._account(frame)
         frame = self._apply_faults(frame)
         if frame is None:
             return
-        yield self.engine.timeout(self.propagation_us)
+        yield self.engine.pooled_timeout(self.propagation_us)
         peer.frame_on_wire(frame)
 
 
@@ -209,22 +213,22 @@ class SwitchPort(_Medium):
         """NIC -> switch direction."""
         grant = self._to_switch.request()
         yield grant
-        yield self.engine.timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
+        yield self.engine.pooled_timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
         grant.release()
         self._account(frame)
         frame = self._apply_faults(frame)
         if frame is None:
             return
-        yield self.engine.timeout(self.propagation_us)
+        yield self.engine.pooled_timeout(self.propagation_us)
         self.switch.accept(frame)
 
     def forward_to_nic(self, frame: Frame) -> Generator:
         """Switch -> NIC direction."""
         grant = self._to_nic.request()
         yield grant
-        yield self.engine.timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
+        yield self.engine.pooled_timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
         grant.release()
-        yield self.engine.timeout(self.propagation_us)
+        yield self.engine.pooled_timeout(self.propagation_us)
         self.nic.frame_on_wire(frame)
 
 
@@ -251,7 +255,7 @@ class Switch:
         self.engine.process(self._forward(frame), name="switch-fwd")
 
     def _forward(self, frame: Frame) -> Generator:
-        yield self.engine.timeout(self.forward_latency_us)
+        yield self.engine.pooled_timeout(self.forward_latency_us)
         port = self._ports.get(frame.dst_addr)
         if port is not None:
             self.frames_forwarded += 1

@@ -18,7 +18,8 @@ interprets a byte buffer through a layout without copying.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, Union
+import struct
+from typing import Callable, Dict, List, Sequence, Tuple, Union
 
 __all__ = [
     "Scalar",
@@ -43,8 +44,17 @@ class LayoutError(TypeError):
     """Raised for malformed layout declarations."""
 
 
+_STRUCT_CODES = {1: "b", 2: "h", 4: "i", 8: "q"}
+
+
 class Scalar:
-    """A fixed-width integer field type."""
+    """A fixed-width integer field type.
+
+    Decode/encode go through a precompiled :class:`struct.Struct`
+    (``unpack_from``/``pack_into``), which reads and writes in place with
+    no intermediate slice objects -- this is the innermost loop of every
+    header field access in the stack.
+    """
 
     def __init__(self, name: str, size: int, signed: bool = False,
                  byteorder: str = "big"):
@@ -56,22 +66,36 @@ class Scalar:
         self.size = size
         self.signed = signed
         self.byteorder = byteorder
+        code = _STRUCT_CODES[size]
+        self._struct = struct.Struct(
+            ("<" if byteorder == "little" else ">")
+            + (code if signed else code.upper()))
+        # Bound C methods, exposed for the TypedView fast path.
+        self.unpack_from = self._struct.unpack_from
+        self.pack_into = self._struct.pack_into
 
     def decode(self, data: Union[bytes, bytearray, memoryview], offset: int) -> int:
-        raw = bytes(data[offset:offset + self.size])
-        if len(raw) != self.size:
+        try:
+            return self.unpack_from(data, offset)[0]
+        except struct.error:
             raise LayoutError(
                 "buffer too short decoding %s at offset %d" % (self.name, offset))
-        return int.from_bytes(raw, self.byteorder, signed=self.signed)
 
     def encode(self, data: Union[bytearray, memoryview], offset: int, value: int) -> None:
         try:
-            raw = int(value).to_bytes(self.size, self.byteorder, signed=self.signed)
-        except OverflowError:
-            raise OverflowError(
-                "value %r does not fit in %s (%d bytes, signed=%s)"
-                % (value, self.name, self.size, self.signed))
-        data[offset:offset + self.size] = raw
+            self.pack_into(data, offset, value)
+        except struct.error:
+            # Slow path keeps the historical semantics: non-int values are
+            # coerced with int(), out-of-range values raise OverflowError,
+            # and a short bytearray grows via slice assignment.
+            try:
+                raw = int(value).to_bytes(self.size, self.byteorder,
+                                          signed=self.signed)
+            except OverflowError:
+                raise OverflowError(
+                    "value %r does not fit in %s (%d bytes, signed=%s)"
+                    % (value, self.name, self.size, self.signed))
+            data[offset:offset + self.size] = raw
 
     def __repr__(self) -> str:
         return "<Scalar %s>" % self.name
@@ -132,6 +156,10 @@ class Layout:
         self.fields: List[Tuple[str, FieldType]] = []
         self.offsets: Dict[str, int] = {}
         self.types: Dict[str, FieldType] = {}
+        # Scalar-field accessor tables for the TypedView fast path:
+        # field name -> (bound struct method, field offset).
+        self._scalar_get: Dict[str, Tuple[Callable, int]] = {}
+        self._scalar_put: Dict[str, Tuple[Callable, int]] = {}
         offset = 0
         for field_name, field_type in fields:
             if field_name in self.offsets:
@@ -145,8 +173,56 @@ class Layout:
             self.fields.append((field_name, field_type))
             self.offsets[field_name] = offset
             self.types[field_name] = field_type
+            if isinstance(field_type, Scalar):
+                self._scalar_get[field_name] = (field_type.unpack_from, offset)
+                self._scalar_put[field_name] = (field_type.pack_into, offset)
             offset += field_type.size
         self.size = offset
+        # Whole-record struct: when every field is a scalar of one byte
+        # order (byte arrays pack as "Ns", order-neutral), the layout gets
+        # ``pack_into``/``unpack_from`` covering the full record in one
+        # struct call.  Header builders and parsers use this to touch all
+        # fields at once instead of one VIEW access per field.
+        self._whole = self._build_whole_struct()
+        if self._whole is not None:
+            self.pack_into = self._whole.pack_into
+            self.unpack_from = self._whole.unpack_from
+
+    def _build_whole_struct(self):
+        order = None
+        parts = []
+        for _field_name, field_type in self.fields:
+            if isinstance(field_type, Scalar):
+                fmt = field_type._struct.format
+                if order is None:
+                    order = fmt[0]
+                elif fmt[0] != order:
+                    return None  # mixed byte orders: no single struct
+                parts.append(fmt[1])
+            elif (isinstance(field_type, ArrayType)
+                    and field_type.element.size == 1
+                    and not field_type.element.signed):
+                parts.append("%ds" % field_type.length)
+            else:
+                return None  # nested layout or multi-byte array
+        return struct.Struct((order or ">") + "".join(parts))
+
+    def scalar_putter(self, field_name: str) -> Tuple[Callable, int]:
+        """``(bound pack_into, byte offset)`` for one scalar field.
+
+        Header builders use this to patch a checksum into an
+        already-packed record without going back through a view.
+        """
+        return self._scalar_put[field_name]
+
+    def scalar_getter(self, field_name: str) -> Tuple[Callable, int]:
+        """``(bound unpack_from, byte offset)`` for one scalar field.
+
+        Guards that test a single header field use this instead of
+        constructing a full view per packet; ``getter(buf, off)[0]`` is
+        the field value.
+        """
+        return self._scalar_get[field_name]
 
     def field_names(self) -> List[str]:
         return [name for name, _type in self.fields]

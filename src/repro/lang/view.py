@@ -20,13 +20,14 @@ The reproduction provides:
 
 from __future__ import annotations
 
+import struct
 from typing import Union
 
 from .ephemeral import register_safe
 from .layout import ArrayType, Layout, Scalar
 from .readonly import ReadOnlyBuffer, ReadOnlyViolation
 
-__all__ = ["VIEW", "TypedView", "ArrayView", "ViewError"]
+__all__ = ["VIEW", "TypedView", "ArrayView", "ViewError", "raw_storage"]
 
 
 class ViewError(TypeError):
@@ -38,15 +39,34 @@ BufferLike = Union[bytes, bytearray, memoryview, ReadOnlyBuffer]
 
 def _storage_and_writability(buffer: BufferLike):
     """Return (indexable storage, writable flag) for the buffer."""
-    if isinstance(buffer, ReadOnlyBuffer):
-        return buffer.raw(), False
+    # Checked most-common-first: packet paths overwhelmingly view bytes
+    # and bytearray buffers.
     if isinstance(buffer, bytes):
         return buffer, False
     if isinstance(buffer, bytearray):
         return buffer, True
+    if isinstance(buffer, ReadOnlyBuffer):
+        return buffer.raw(), False
     if isinstance(buffer, memoryview):
         return buffer, not buffer.readonly
     raise ViewError("VIEW requires a bytes-like buffer, got %r" % (buffer,))
+
+
+def raw_storage(buffer: BufferLike):
+    """The indexable storage behind ``buffer`` (unwraps ReadOnlyBuffer).
+
+    Protocol input paths use this with ``Layout.unpack_from`` to read a
+    whole header in one struct call.  Writability is not conveyed --
+    callers must treat the result as read-only.
+    """
+    kind = type(buffer)
+    if kind is bytes or kind is bytearray or kind is memoryview:
+        return buffer
+    if kind is ReadOnlyBuffer:
+        # Skip .raw()'s defensive memoryview: the read-only contract here
+        # is the caller's responsibility, not the buffer's.
+        return buffer._data
+    return _storage_and_writability(buffer)[0]
 
 
 class ArrayView:
@@ -140,6 +160,19 @@ class TypedView:
         return layout.types[name], self._offset + layout.offsets[name]
 
     def __getattr__(self, name: str):
+        # Fast path: scalar fields decode with one precompiled
+        # struct.unpack_from call.  Everything else -- nested records,
+        # arrays, unknown names, short buffers -- falls through to the
+        # slow path, which raises the precise historical errors.
+        entry = self._layout._scalar_get.get(name)
+        if entry is not None:
+            try:
+                return entry[0](self._storage, self._offset + entry[1])[0]
+            except struct.error:
+                pass
+        return self._getattr_slow(name)
+
+    def _getattr_slow(self, name: str):
         field_type, offset = self._field(name)
         if isinstance(field_type, Scalar):
             return field_type.decode(self._storage, offset)
@@ -148,6 +181,19 @@ class TypedView:
         return TypedView(self._storage, self._writable, offset, field_type)
 
     def __setattr__(self, name: str, value) -> None:
+        if self._writable:
+            entry = self._layout._scalar_put.get(name)
+            if entry is not None:
+                try:
+                    entry[0](self._storage, self._offset + entry[1], value)
+                    return
+                except struct.error:
+                    # Non-int or out-of-range value: the slow path coerces
+                    # and raises exactly as the original implementation.
+                    pass
+        self._setattr_slow(name, value)
+
+    def _setattr_slow(self, name: str, value) -> None:
         field_type, offset = self._field(name)
         if not self._writable:
             raise ReadOnlyViolation(
@@ -193,7 +239,17 @@ def VIEW(buffer: BufferLike, layout: Layout, offset: int = 0) -> TypedView:
         raise ViewError(
             "VIEW target must be a Layout (a scalar type or an aggregate of "
             "scalar types, paper sec. 3.2); got %r" % (layout,))
-    storage, writable = _storage_and_writability(buffer)
+    # Exact-type dispatch for the common buffer kinds; subclasses and
+    # ReadOnlyBuffer take the general helper.
+    kind = type(buffer)
+    if kind is bytes:
+        storage, writable = buffer, False
+    elif kind is bytearray:
+        storage, writable = buffer, True
+    elif kind is memoryview:
+        storage, writable = buffer, not buffer.readonly
+    else:
+        storage, writable = _storage_and_writability(buffer)
     if offset < 0:
         raise ViewError("VIEW offset must be non-negative")
     if len(storage) - offset < layout.size:

@@ -49,10 +49,8 @@ class EthernetProto:
             raise ValueError("destination MAC must be 6 bytes")
         self.host.cpu.charge(self.host.costs.ethernet_output, "protocol")
         header = bytearray(self.HEADER_LEN)
-        view = VIEW(header, ETHERNET_HEADER)
-        view.dst = dst_mac
-        view.src = self.nic.address
-        view.type = ethertype
+        ETHERNET_HEADER.pack_into(header, 0, bytes(dst_mac),
+                                  bytes(self.nic.address), ethertype)
         m = m.prepend(header)
         self.frames_out += 1
         return self.nic.stage_tx(m.to_bytes(), dst_mac)

@@ -155,3 +155,19 @@ def mac_ntoa(mac: bytes) -> str:
 def pseudo_header(src: int, dst: int, protocol: int, length: int) -> bytes:
     """The IPv4 pseudo-header used in UDP/TCP checksums."""
     return struct.pack("!IIBBH", src, dst, 0, protocol, length)
+
+
+#: Pseudo-header size in bytes (charged per byte like any checksum pass).
+PSEUDO_HEADER_LEN = 12
+
+
+def pseudo_header_sum(src: int, dst: int, protocol: int, length: int) -> int:
+    """The 16-bit word sum of the pseudo-header, computed arithmetically.
+
+    Equals ``sum of 16-bit words of pseudo_header(...)`` without building
+    any bytes: the zero byte pairs with the protocol byte, so the word is
+    just ``protocol``.  Feed the result to ``internet_checksum(data,
+    initial=...)`` to fold the pseudo-header into a transport checksum.
+    """
+    return ((src >> 16) + (src & 0xFFFF) + (dst >> 16) + (dst & 0xFFFF)
+            + protocol + length)

@@ -15,10 +15,16 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..lang.view import VIEW, TypedView
+from ..lang.view import VIEW, TypedView, raw_storage
 from ..spin.mbuf import Mbuf
 from .checksum import charged_checksum
 from .headers import IP_HEADER, ip_ntoa
+
+# Whole-header struct accessors (one C call instead of one VIEW access
+# per field on the per-packet paths).
+_IP_PACK = IP_HEADER.pack_into
+_IP_UNPACK = IP_HEADER.unpack_from
+_IP_PUT_CKSUM, _IP_CKSUM_OFF = IP_HEADER.scalar_putter("checksum")
 
 __all__ = ["IpProto", "IP_BROADCAST"]
 
@@ -139,7 +145,8 @@ class IpProto:
                src: Optional[int] = None, ttl: int = DEFAULT_TTL,
                dont_fragment: bool = False) -> None:
         """Send payload chain ``m`` to ``dst`` (plain code)."""
-        self.host.cpu.charge(self.host.costs.ip_output, "protocol")
+        host = self.host
+        host.cpu.charge(host.costs.ip_output, "protocol")
         src = self.my_ip if src is None else src
         self._ident = (self._ident + 1) & 0xFFFF
         ident = self._ident
@@ -147,9 +154,12 @@ class IpProto:
         adapter, next_hop = self.route_for(dst)
         mtu_payload = adapter.mtu - self.HEADER_LEN
         self.packets_out += 1
-        if payload_len + self.HEADER_LEN <= adapter.mtu:
-            packet = self._prepend_header(m, src, dst, protocol, ident, ttl,
-                                          frag_field=(_FLAG_DF if dont_fragment else 0))
+        total = payload_len + self.HEADER_LEN
+        if total <= adapter.mtu:
+            packet = self._prepend_header(
+                m, src, dst, protocol, ident, ttl,
+                frag_field=(_FLAG_DF if dont_fragment else 0),
+                total_length=total)
             adapter.send(packet, next_hop)
             return
         if dont_fragment:
@@ -173,53 +183,46 @@ class IpProto:
             offset += len(part)
 
     def _prepend_header(self, m: Mbuf, src: int, dst: int, protocol: int,
-                        ident: int, ttl: int, frag_field: int) -> Mbuf:
+                        ident: int, ttl: int, frag_field: int,
+                        total_length: Optional[int] = None) -> Mbuf:
+        if total_length is None:
+            total_length = self.HEADER_LEN + m.length()
         header = bytearray(self.HEADER_LEN)
-        view = VIEW(header, IP_HEADER)
-        view.vhl = 0x45
-        view.tos = 0
-        view.total_length = self.HEADER_LEN + m.length()
-        view.ident = ident
-        view.frag_off = frag_field
-        view.ttl = ttl
-        view.protocol = protocol
-        view.checksum = 0
-        view.src = src
-        view.dst = dst
-        view.checksum = charged_checksum(self.host, header, category="checksum")
+        _IP_PACK(header, 0, 0x45, 0, total_length, ident,
+                 frag_field, ttl, protocol, 0, src, dst)
+        _IP_PUT_CKSUM(header, _IP_CKSUM_OFF,
+                      charged_checksum(self.host, header, category="checksum"))
         return m.prepend(header)
 
     # -- receive path -------------------------------------------------------------
 
     def input(self, m: Mbuf, off: int) -> None:
         """Process a received packet whose IP header is at ``off``."""
-        self.host.cpu.charge(self.host.costs.ip_input, "protocol")
+        host = self.host
+        host.cpu.charge(host.costs.ip_input, "protocol")
         data = m.data
         if len(data) < off + self.HEADER_LEN:
             self.header_errors += 1
             return
-        view = VIEW(data, IP_HEADER, offset=off)
-        if (view.vhl >> 4) != 4 or (view.vhl & 0xF) != 5:
+        storage = raw_storage(data)
+        (vhl, _tos, total, ident, frag, _ttl, protocol, _cksum,
+         src, dst) = _IP_UNPACK(storage, off)
+        if vhl != 0x45:  # version 4, header length 5 words
             self.header_errors += 1
             return
-        header_bytes = bytes(data[off:off + self.HEADER_LEN])
-        if charged_checksum(self.host, header_bytes) != 0:
+        header_bytes = data[off:off + self.HEADER_LEN]
+        if charged_checksum(host, header_bytes) != 0:
             self.header_errors += 1
             return
-        dst = view.dst
         if not self.accepts(dst):
             if self.forwarding:
-                self._forward(m, off, view)
+                self._forward(m, off, VIEW(data, IP_HEADER, offset=off))
             else:
                 self.not_for_us += 1
             return
         self.packets_in += 1
-        src = view.src
-        protocol = view.protocol
-        total = view.total_length
         payload_off = off + self.HEADER_LEN
         payload_len = total - self.HEADER_LEN
-        frag = view.frag_off
         frag_offset = (frag & _OFFSET_MASK) * 8
         more = bool(frag & _FLAG_MF)
         if frag_offset == 0 and not more:
@@ -227,7 +230,7 @@ class IpProto:
                 self.upcall(protocol, m, payload_off, src, dst)
             return
         self._input_fragment(m, payload_off, payload_len, src, dst, protocol,
-                             view.ident, frag_offset, more)
+                             ident, frag_offset, more)
 
     def _input_fragment(self, m: Mbuf, payload_off: int, payload_len: int,
                         src: int, dst: int, protocol: int, ident: int,

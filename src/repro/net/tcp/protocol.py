@@ -10,14 +10,20 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
-from ...lang.view import VIEW
+from ...lang.view import raw_storage
 from ...spin.mbuf import Mbuf
-from ..checksum import charged_checksum
-from ..headers import IPPROTO_TCP, TCP_HEADER, pseudo_header
+from ..checksum import internet_checksum
+from ..headers import (IPPROTO_TCP, PSEUDO_HEADER_LEN, TCP_HEADER,
+                       pseudo_header_sum)
 from ..ip import IpProto
 from .tcb import ACK, RST, SYN, Tcb, TcpSegment
 
 __all__ = ["TcpProto", "TcpListener"]
+
+# Whole-header struct accessors for the per-segment paths.
+_TCP_PACK = TCP_HEADER.pack_into
+_TCP_UNPACK = TCP_HEADER.unpack_from
+_TCP_PUT_CKSUM, _TCP_CKSUM_OFF = TCP_HEADER.scalar_putter("checksum")
 
 ConnKey = Tuple[int, int, int, int]  # laddr, lport, raddr, rport
 
@@ -122,20 +128,17 @@ class TcpProto:
             options = bytes([2, 4]) + self.default_mss.to_bytes(2, "big")
         header_len = self.HEADER_LEN + len(options)
         header = bytearray(header_len)
-        view = VIEW(header, TCP_HEADER)
-        view.src_port = tcb.lport
-        view.dst_port = tcb.rport
-        view.seq = seq
-        view.ack = ack
-        view.off_flags = ((header_len // 4) << 12) | flags
-        view.window = min(window, 0xFFFF)
-        view.checksum = 0
-        view.urgent = 0
+        _TCP_PACK(header, 0, tcb.lport, tcb.rport, seq, ack,
+                  ((header_len // 4) << 12) | flags, min(window, 0xFFFF), 0, 0)
         header[self.HEADER_LEN:] = options
         length = header_len + len(payload)
-        pseudo = pseudo_header(tcb.laddr, tcb.raddr, IPPROTO_TCP, length)
-        view.checksum = charged_checksum(
-            self.host, pseudo + bytes(header) + payload)
+        self.host.cpu.charge(
+            (PSEUDO_HEADER_LEN + length) * self.host.costs.checksum_per_byte,
+            "checksum")
+        _TCP_PUT_CKSUM(header, _TCP_CKSUM_OFF, internet_checksum(
+            bytes(header) + payload,
+            initial=pseudo_header_sum(tcb.laddr, tcb.raddr, IPPROTO_TCP,
+                                      length)))
         m = self.host.mbufs.from_bytes(bytes(header) + payload, leading_space=64)
         self.segments_out += 1
         self.ip.output(m, tcb.raddr, IPPROTO_TCP, src=tcb.laddr)
@@ -166,17 +169,15 @@ class TcpProto:
         self.host.cpu.charge(self.host.costs.tcp_output, "protocol")
         self.resets_sent += 1
         header = bytearray(self.HEADER_LEN)
-        view = VIEW(header, TCP_HEADER)
-        view.src_port = dst_port
-        view.dst_port = src_port
-        view.seq = seq
-        view.ack = ack
-        view.off_flags = (5 << 12) | RST | (ACK if with_ack else 0)
-        view.window = 0
-        view.checksum = 0
-        view.urgent = 0
-        pseudo = pseudo_header(dst_ip, src_ip, IPPROTO_TCP, self.HEADER_LEN)
-        view.checksum = charged_checksum(self.host, pseudo + bytes(header))
+        _TCP_PACK(header, 0, dst_port, src_port, seq, ack,
+                  (5 << 12) | RST | (ACK if with_ack else 0), 0, 0, 0)
+        self.host.cpu.charge(
+            (PSEUDO_HEADER_LEN + self.HEADER_LEN)
+            * self.host.costs.checksum_per_byte, "checksum")
+        _TCP_PUT_CKSUM(header, _TCP_CKSUM_OFF, internet_checksum(
+            bytes(header),
+            initial=pseudo_header_sum(dst_ip, src_ip, IPPROTO_TCP,
+                                      self.HEADER_LEN)))
         m = self.host.mbufs.from_bytes(bytes(header), leading_space=64)
         self.ip.output(m, src_ip, IPPROTO_TCP, src=dst_ip)
 
@@ -189,22 +190,26 @@ class TcpProto:
         if len(data) < off + self.HEADER_LEN:
             return
         segment_bytes = m.to_bytes()[off:]
-        pseudo = pseudo_header(src_ip, dst_ip, IPPROTO_TCP, len(segment_bytes))
-        if charged_checksum(self.host, pseudo + segment_bytes) != 0:
+        self.host.cpu.charge(
+            (PSEUDO_HEADER_LEN + len(segment_bytes))
+            * self.host.costs.checksum_per_byte, "checksum")
+        if internet_checksum(
+                segment_bytes,
+                initial=pseudo_header_sum(src_ip, dst_ip, IPPROTO_TCP,
+                                          len(segment_bytes))) != 0:
             self.checksum_errors += 1
             return
-        view = VIEW(data, TCP_HEADER, offset=off)
-        data_off = (view.off_flags >> 12) * 4
-        flags = view.off_flags & 0x3F
+        (src_port, dst_port, seq, ack, off_flags, window, _cksum,
+         _urgent) = _TCP_UNPACK(raw_storage(data), off)
+        data_off = (off_flags >> 12) * 4
+        flags = off_flags & 0x3F
         payload = segment_bytes[data_off:]
         mss = None
         if data_off > self.HEADER_LEN:
             mss = self._parse_mss_option(
                 segment_bytes[self.HEADER_LEN:data_off])
         self.segments_in += 1
-        seg = TcpSegment(view.seq, view.ack, flags, view.window, payload,
-                         mss=mss)
-        src_port, dst_port = view.src_port, view.dst_port
+        seg = TcpSegment(seq, ack, flags, window, payload, mss=mss)
 
         key = (dst_ip, dst_port, src_ip, src_port)
         tcb = self.connections.get(key)

@@ -15,11 +15,17 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..lang.view import VIEW, TypedView
+from ..lang.view import VIEW, TypedView, raw_storage
 from ..spin.mbuf import Mbuf
-from .checksum import charged_checksum
-from .headers import IPPROTO_UDP, UDP_HEADER, pseudo_header
+from .checksum import internet_checksum
+from .headers import (IPPROTO_UDP, PSEUDO_HEADER_LEN, UDP_HEADER,
+                      pseudo_header_sum)
 from .ip import IpProto
+
+# Whole-header struct accessors for the per-datagram paths.
+_UDP_PACK = UDP_HEADER.pack_into
+_UDP_UNPACK = UDP_HEADER.unpack_from
+_UDP_PUT_CKSUM, _UDP_CKSUM_OFF = UDP_HEADER.scalar_putter("checksum")
 
 __all__ = ["UdpProto"]
 
@@ -44,23 +50,27 @@ class UdpProto:
     def output(self, m: Mbuf, src_port: int, dst_ip: int, dst_port: int,
                src_ip: Optional[int] = None, checksum: bool = True) -> None:
         """Send payload chain ``m`` as a datagram (plain code)."""
-        for port in (src_port, dst_port):
-            if not 0 < port <= 0xFFFF:
-                raise ValueError("invalid UDP port %r" % port)
-        self.host.cpu.charge(self.host.costs.udp_output, "protocol")
+        if not 0 < src_port <= 0xFFFF or not 0 < dst_port <= 0xFFFF:
+            raise ValueError("invalid UDP port %r" % (
+                src_port if not 0 < src_port <= 0xFFFF else dst_port))
+        host = self.host
+        charge = host.cpu.charge
+        costs = host.costs
+        charge(costs.udp_output, "protocol")
         src_ip = self.ip.my_ip if src_ip is None else src_ip
         length = self.HEADER_LEN + m.length()
         header = bytearray(self.HEADER_LEN)
-        view = VIEW(header, UDP_HEADER)
-        view.src_port = src_port
-        view.dst_port = dst_port
-        view.length = length
-        view.checksum = 0
+        _UDP_PACK(header, 0, src_port, dst_port, length, 0)
         if checksum:
-            pseudo = pseudo_header(src_ip, dst_ip, IPPROTO_UDP, length)
-            value = charged_checksum(
-                self.host, pseudo + bytes(header) + m.to_bytes())
-            view.checksum = value if value != 0 else 0xFFFF
+            # The pseudo-header is folded in arithmetically (initial=);
+            # the charge covers it as if the bytes had been summed.
+            charge((PSEUDO_HEADER_LEN + length) * costs.checksum_per_byte,
+                   "checksum")
+            value = internet_checksum(
+                bytes(header) + m.to_bytes(),
+                initial=pseudo_header_sum(src_ip, dst_ip, IPPROTO_UDP, length))
+            _UDP_PUT_CKSUM(header, _UDP_CKSUM_OFF,
+                           value if value != 0 else 0xFFFF)
         else:
             self.checksums_skipped += 1
         packet = m.prepend(header)
@@ -71,26 +81,31 @@ class UdpProto:
 
     def input(self, m: Mbuf, off: int, src_ip: int, dst_ip: int) -> None:
         """Process a datagram whose UDP header is at ``off`` (plain code)."""
-        self.host.cpu.charge(self.host.costs.udp_input, "protocol")
+        host = self.host
+        host.cpu.charge(host.costs.udp_input, "protocol")
         data = m.data
         if len(data) < off + self.HEADER_LEN:
             return
-        view = VIEW(data, UDP_HEADER, offset=off)
-        length = view.length
+        src_port, dst_port, length, cksum = _UDP_UNPACK(raw_storage(data), off)
         if length < self.HEADER_LEN or off + length > m.length():
             return
-        if view.checksum != 0:
-            pseudo = pseudo_header(src_ip, dst_ip, IPPROTO_UDP, length)
+        if cksum != 0:
             segment = m.to_bytes()[off:off + length]
-            if charged_checksum(self.host, pseudo + segment) != 0:
+            host.cpu.charge(
+                (PSEUDO_HEADER_LEN + length) * host.costs.checksum_per_byte,
+                "checksum")
+            if internet_checksum(
+                    segment,
+                    initial=pseudo_header_sum(src_ip, dst_ip, IPPROTO_UDP,
+                                              length)) != 0:
                 self.checksum_errors += 1
                 return
         else:
             self.checksums_skipped += 1
         self.datagrams_in += 1
         if self.upcall is not None:
-            self.upcall(m, off + self.HEADER_LEN, src_ip, view.src_port,
-                        dst_ip, view.dst_port)
+            self.upcall(m, off + self.HEADER_LEN, src_ip, src_port,
+                        dst_ip, dst_port)
 
     # -- helpers -------------------------------------------------------------------------
 

@@ -27,7 +27,9 @@ with the numbers in the paper.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from collections import deque
+from types import GeneratorType
+from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
 
 __all__ = [
     "Engine",
@@ -72,6 +74,8 @@ class Event:
     registered callbacks run and any waiting processes resume.
     """
 
+    __slots__ = ("engine", "callbacks", "_state", "_value", "_exception")
+
     def __init__(self, engine: "Engine"):
         self.engine = engine
         self.callbacks: List[Callable[["Event"], None]] = []
@@ -108,16 +112,23 @@ class Event:
 
     def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
         """Schedule this event to fire successfully after ``delay``."""
-        if self.triggered:
+        if self._state != _PENDING:
             raise SimulationError("event has already been triggered")
         self._state = _TRIGGERED
         self._value = value
-        self.engine._enqueue(delay, self)
+        # Engine._enqueue, inlined (succeed is on the per-packet hot path).
+        engine = self.engine
+        engine._sequence += 1
+        if delay == 0.0:
+            engine._now_queue.append((engine._sequence, self))
+        else:
+            heapq.heappush(engine._heap,
+                           (engine.now + delay, 0, engine._sequence, self))
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
         """Schedule this event to fire with ``exception``."""
-        if self.triggered:
+        if self._state != _PENDING:
             raise SimulationError("event has already been triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -135,8 +146,25 @@ class Event:
             callback(self)
 
 
+class _PooledEvent(Event):
+    """A recycled one-shot event used by the engine's internal fast paths.
+
+    Pooled events are created through :meth:`Engine.pooled_timeout` (and
+    the engine's internal pokes), always enqueued already-triggered, and
+    returned to the engine's pool as soon as their callbacks have run.
+    They must therefore never be retained past their firing -- which is
+    why the pool is only used for yield-and-forget sites like
+    ``cpu.consume`` and the process bootstrap, never for events handed to
+    arbitrary user code.
+    """
+
+    __slots__ = ()
+
+
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
 
     def __init__(self, engine: "Engine", delay: float, value: Any = None):
         if delay < 0:
@@ -158,17 +186,24 @@ class Process(Event):
     with any exception that escapes the generator.
     """
 
+    __slots__ = ("_generator", "name", "_waiting_on")
+
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
-        super().__init__(engine)
-        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+        # Event.__init__, inlined: one process is spawned per kernel path.
+        self.engine = engine
+        self.callbacks = []
+        self._state = _PENDING
+        self._value = None
+        self._exception = None
+        if type(generator) is not GeneratorType and (
+                not hasattr(generator, "send")
+                or not hasattr(generator, "throw")):
             raise TypeError("Process requires a generator, got %r" % (generator,))
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
         # Bootstrap: resume the generator as soon as the engine runs.
-        bootstrap = Event(engine)
-        bootstrap.callbacks.append(self._resume)
-        bootstrap.succeed()
+        engine._poke(self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -188,43 +223,41 @@ class Process(Event):
         if waiting is not None and self._resume in waiting.callbacks:
             waiting.callbacks.remove(self._resume)
         self._waiting_on = None
-        poke = Event(self.engine)
-        poke.callbacks.append(self._resume)
-        poke.fail(Interrupt(cause))
+        self.engine._poke(self._resume, exception=Interrupt(cause))
 
     def _resume(self, trigger: Event) -> None:
         self._waiting_on = None
-        self.engine._active_process = self
+        engine = self.engine
+        engine._active_process = self
         try:
             if trigger._exception is not None:
                 target = self._generator.throw(trigger._exception)
             else:
                 target = self._generator.send(trigger._value)
         except StopIteration as stop:
-            self.engine._active_process = None
+            engine._active_process = None
             self.succeed(stop.value)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate into waiters
-            self.engine._active_process = None
+            engine._active_process = None
             if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                 raise
             self.fail(exc)
             return
-        self.engine._active_process = None
-        if not isinstance(target, Event):
+        engine._active_process = None
+        # Read _state directly: yielding a non-Event surfaces here as an
+        # AttributeError, converted to the historical SimulationError.
+        try:
+            state = target._state
+        except AttributeError:
             raise SimulationError(
                 "process %r yielded %r; processes must yield Event objects"
                 % (self.name, target)
             )
-        if target.processed:
+        if state == _PROCESSED:
             # The event already fired; resume immediately (at current time).
-            poke = Event(self.engine)
-            poke._value = target._value
-            poke._exception = target._exception
-            poke.callbacks.append(self._resume)
-            poke._state = _TRIGGERED
-            self.engine._enqueue(0.0, poke)
-            self._waiting_on = poke
+            self._waiting_on = engine._poke(
+                self._resume, target._value, target._exception)
         else:
             target.callbacks.append(self._resume)
             self._waiting_on = target
@@ -237,6 +270,8 @@ class AnyOf(Event):
     single entry here; the dict form keeps the interface uniform with
     :class:`AllOf`).  If the first event fails, this event fails.
     """
+
+    __slots__ = ("_events",)
 
     def __init__(self, engine: "Engine", events: List[Event]):
         super().__init__(engine)
@@ -260,6 +295,8 @@ class AnyOf(Event):
 
 class AllOf(Event):
     """Fires when every one of several events has fired."""
+
+    __slots__ = ("_events", "_remaining")
 
     def __init__(self, engine: "Engine", events: List[Event]):
         super().__init__(engine)
@@ -294,13 +331,27 @@ class Engine:
     currently always 0 for events scheduled through the public interface;
     the sequence number guarantees FIFO order among simultaneous events,
     which in turn makes every simulation run deterministic.
+
+    Fast path: most events in a protocol simulation fire "now" (zero-delay
+    pokes, already-charged completions), so zero-delay default-priority
+    events bypass the heap into a FIFO deque.  Every scheduled event still
+    carries a global sequence number and :meth:`step` merges the two
+    structures in exact ``(time, priority, sequence)`` order, so the
+    observable execution order -- and therefore every simulated-time
+    number -- is identical to the all-heap implementation.
     """
+
+    #: Upper bound on recycled events kept in the pool.
+    _POOL_LIMIT = 1024
 
     def __init__(self):
         self.now: float = 0.0
         self._heap: List[Tuple[float, int, int, Event]] = []
+        self._now_queue: Deque[Tuple[int, Event]] = deque()
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        self._pool: List[_PooledEvent] = []
+        self.events_processed = 0
 
     # -- factory helpers -------------------------------------------------
 
@@ -309,6 +360,33 @@ class Engine:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
+
+    def pooled_timeout(self, delay: float, value: Any = None) -> Event:
+        """A timeout drawn from the engine's recycle pool.
+
+        Behaves exactly like :meth:`timeout` on the simulated timeline but
+        allocates nothing in the steady state: the event object is recycled
+        the moment its callbacks have run.  Callers must *not* keep a
+        reference past the firing (no ``.value`` reads later, no use in
+        ``any_of``/``all_of``); it is meant for the hot yield-and-forget
+        pattern ``yield engine.pooled_timeout(us)`` inside processes.
+        """
+        if delay < 0:
+            raise ValueError("timeout delay must be non-negative, got %r" % delay)
+        # _checkout + _enqueue, inlined: this is called once per simulated
+        # CPU hold and per link delay, the hottest allocation site.
+        pool = self._pool
+        event = pool.pop() if pool else _PooledEvent(self)
+        event._state = _TRIGGERED
+        event._value = value
+        event._exception = None
+        self._sequence += 1
+        if delay == 0.0:
+            self._now_queue.append((self._sequence, event))
+        else:
+            heapq.heappush(self._heap,
+                           (self.now + delay, 0, self._sequence, event))
+        return event
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name)
@@ -327,17 +405,86 @@ class Engine:
 
     def _enqueue(self, delay: float, event: Event, priority: int = 0) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (self.now + delay, priority, self._sequence, event))
+        if delay == 0.0 and priority == 0:
+            # Zero-delay events fire at the current time; the deque keeps
+            # them out of the heap.  All entries sit at (self.now, 0, seq).
+            self._now_queue.append((self._sequence, event))
+        else:
+            heapq.heappush(self._heap, (self.now + delay, priority, self._sequence, event))
+
+    def _checkout(self, value: Any, exception: Optional[BaseException]) -> "_PooledEvent":
+        pool = self._pool
+        if pool:
+            event = pool.pop()
+        else:
+            event = _PooledEvent(self)
+        event._state = _TRIGGERED
+        event._value = value
+        event._exception = exception
+        return event
+
+    def _poke(self, callback: Callable[[Event], None], value: Any = None,
+              exception: Optional[BaseException] = None) -> Event:
+        """Fire ``callback`` at the current time via a recycled event."""
+        pool = self._pool
+        event = pool.pop() if pool else _PooledEvent(self)
+        event._state = _TRIGGERED
+        event._value = value
+        event._exception = exception
+        event.callbacks.append(callback)
+        self._sequence += 1
+        self._now_queue.append((self._sequence, event))
+        return event
 
     # -- execution ----------------------------------------------------------
 
     def step(self) -> None:
         """Process the single next event, advancing the clock."""
-        if not self._heap:
-            raise SimulationError("step() called with no pending events")
-        when, _priority, _seq, event = heapq.heappop(self._heap)
-        self.now = when
-        event._process()
+        queue = self._now_queue
+        heap = self._heap
+        from_heap = True
+        if queue:
+            # Queue entries sit at (self.now, 0, seq); the heap head runs
+            # first only when it is globally earlier in that order.
+            if heap:
+                head = heap[0]
+                when = head[0]
+                from_heap = (when < self.now or
+                             (when == self.now and
+                              (head[1] < 0 or
+                               (head[1] == 0 and head[2] < queue[0][0]))))
+            else:
+                from_heap = False
+        if from_heap:
+            if not heap:
+                raise SimulationError("step() called with no pending events")
+            when, _priority, _seq, event = heapq.heappop(heap)
+            self.now = when
+        else:
+            _seq, event = queue.popleft()
+        self.events_processed += 1
+        # Event._process, inlined: this is the innermost loop of the whole
+        # simulator and the extra call frame is measurable.
+        event._state = _PROCESSED
+        if type(event) is _PooledEvent:
+            # Pooled events reuse their callbacks list across recycles
+            # (callers may not retain the event, so nothing can append
+            # after the firing).
+            callbacks = event.callbacks
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+                callbacks.clear()
+            event._value = None
+            event._exception = None
+            pool = self._pool
+            if len(pool) < self._POOL_LIMIT:
+                pool.append(event)
+        else:
+            callbacks = event.callbacks
+            event.callbacks = []
+            for callback in callbacks:
+                callback(event)
 
     def run(self, until: Optional[float] = None) -> None:
         """Run until the heap drains or the clock passes ``until``.
@@ -348,14 +495,24 @@ class Engine:
         """
         if until is not None and until < self.now:
             raise ValueError("cannot run until %r; clock is already at %r" % (until, self.now))
-        while self._heap:
-            when = self._heap[0][0]
-            if until is not None and when > until:
+        step = self.step
+        if until is None:
+            while self._heap or self._now_queue:
+                step()
+            return
+        while True:
+            if self._now_queue:
+                # Queue entries fire at self.now, which never exceeds until.
+                step()
+                continue
+            heap = self._heap
+            if not heap:
+                break
+            if heap[0][0] > until:
                 self.now = until
                 return
-            self.step()
-        if until is not None:
-            self.now = until
+            step()
+        self.now = until
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Convenience: spawn ``generator`` and run until it finishes.
@@ -365,15 +522,18 @@ class Engine:
         running while the process is alive.
         """
         process = self.process(generator, name=name)
-        while not process.triggered:
-            if not self._heap:
+        step = self.step
+        heap = self._heap
+        queue = self._now_queue
+        while process._state == _PENDING:
+            if not heap and not queue:
                 raise SimulationError(
                     "deadlock: process %r is waiting but no events are pending"
                     % process.name
                 )
-            self.step()
+            step()
         # Drain zero-delay callbacks attached to the completion itself.
         return process.value
 
     def pending_count(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._now_queue)

@@ -16,7 +16,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, List, Optional, Tuple
 
-from .engine import Engine, Event, SimulationError
+from .engine import Engine, Event, SimulationError, _PENDING
 
 __all__ = ["Resource", "ResourceRequest", "Store", "Signal"]
 
@@ -28,8 +28,15 @@ class ResourceRequest(Event):
     eventually call :meth:`release`.
     """
 
+    __slots__ = ("resource", "priority", "granted_at", "_released")
+
     def __init__(self, resource: "Resource", priority: int):
-        super().__init__(resource.engine)
+        # Event.__init__, inlined: one request is created per CPU hold.
+        self.engine = resource.engine
+        self.callbacks = []
+        self._state = _PENDING
+        self._value = None
+        self._exception = None
         self.resource = resource
         self.priority = priority
         self.granted_at: Optional[float] = None
@@ -67,6 +74,14 @@ class Resource:
     def request(self, priority: int = 0) -> ResourceRequest:
         """Return a request event; yield it to wait for the grant."""
         req = ResourceRequest(self, priority)
+        if not self._waiting and self.in_use < self.capacity:
+            # Uncontended: grant immediately without touching the wait
+            # heap (identical outcome: the push below would pop this same
+            # request right back off).
+            self.in_use += 1
+            req.granted_at = self.engine.now
+            req.succeed(req)
+            return req
         self._sequence += 1
         heapq.heappush(self._waiting, (priority, self._sequence, req))
         self._grant_waiters()
@@ -124,7 +139,8 @@ class Store:
 
     def try_put(self, item: Any) -> bool:
         """Insert ``item`` if there is room; count a drop otherwise."""
-        if self.is_full:
+        capacity = self.capacity
+        if capacity is not None and len(self.items) >= capacity:
             self.drops += 1
             return False
         if self._getters:

@@ -25,7 +25,7 @@ This module reproduces that machinery with cost accounting:
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..hw.cpu import THREAD_PRIORITY
 
@@ -44,6 +44,10 @@ class HandlerHandle:
     Holding the handle confers the right to uninstall it.  The protocol
     managers hold handles on behalf of applications (paper sec. 3.1).
     """
+
+    __slots__ = ("event", "handler", "guard", "mode", "time_limit", "label",
+                 "handler_id", "installed", "invocations",
+                 "guard_rejections", "terminations", "failures", "last_error")
 
     def __init__(self, event: "EventDecl", handler: Callable, guard: Optional[Callable],
                  mode: str, time_limit: Optional[float], label: str):
@@ -68,8 +72,7 @@ class HandlerHandle:
         self.event._remove(self)
         self.installed = False
         host = self.event.dispatcher.host
-        if host.cpu.open_accumulators:
-            host.cpu.charge(1.5, "dispatch")
+        host.cpu.try_charge(host.costs.handler_uninstall, "dispatch")
 
     def __repr__(self) -> str:
         return "<HandlerHandle %s on %s mode=%s%s>" % (
@@ -78,16 +81,33 @@ class HandlerHandle:
 
 
 class EventDecl:
-    """A declared event name; the capability needed to raise or install."""
+    """A declared event name; the capability needed to raise or install.
+
+    The (guard, handler) list is scanned on every raise, so the scan
+    order is cached as an immutable snapshot tuple and invalidated on
+    install/uninstall.  Raising over the snapshot gives the same
+    semantics the old per-raise ``list(...)`` copy did -- handlers
+    installed during a raise are not seen until the next raise, handlers
+    uninstalled mid-raise are skipped via ``installed`` -- without
+    allocating on the hot path.
+    """
+
+    __slots__ = ("dispatcher", "name", "handlers", "raise_count", "_snapshot")
 
     def __init__(self, dispatcher: "Dispatcher", name: str):
         self.dispatcher = dispatcher
         self.name = name
         self.handlers: List[HandlerHandle] = []
         self.raise_count = 0
+        self._snapshot: Tuple[HandlerHandle, ...] = ()
+
+    def _append(self, handle: HandlerHandle) -> None:
+        self.handlers.append(handle)
+        self._snapshot = tuple(self.handlers)
 
     def _remove(self, handle: HandlerHandle) -> None:
         self.handlers.remove(handle)
+        self._snapshot = tuple(self.handlers)
 
     def __repr__(self) -> str:
         return "<Event %s (%d handlers)>" % (self.name, len(self.handlers))
@@ -130,10 +150,9 @@ class Dispatcher:
         if time_limit is not None and time_limit <= 0:
             raise DispatchError("time_limit must be positive")
         handle = HandlerHandle(event, handler, guard, mode, time_limit, label)
-        event.handlers.append(handle)
+        event._append(handle)
         # Installing on a running system costs a few table updates.
-        if self.host.cpu.open_accumulators:
-            self.host.cpu.charge(2.0, "dispatch")
+        self.host.cpu.try_charge(self.host.costs.handler_install, "dispatch")
         return handle
 
     # -- raising ------------------------------------------------------------------
@@ -144,20 +163,29 @@ class Dispatcher:
         Returns the number of handlers that matched (ran inline or were
         delegated to a thread).
         """
-        if not isinstance(event, EventDecl):
-            raise DispatchError("raise_event requires an EventDecl capability")
-        cpu = self.host.cpu
+        try:
+            snapshot = event._snapshot
+        except AttributeError:
+            raise DispatchError(
+                "raise_event requires an EventDecl capability") from None
         costs = self.host.costs
+        cpu = self.host.cpu
+        charge = cpu.charge
+        guard_cost = costs.guard_eval
+        handler_cost = costs.dispatch_per_handler
         event.raise_count += 1
         self.total_raises += 1
         matched = 0
-        for handle in list(event.handlers):
+        # The snapshot is the cached scan; it only changes on
+        # install/uninstall, so the common raise allocates nothing.
+        for handle in snapshot:
             if not handle.installed:
                 continue
-            if handle.guard is not None:
-                cpu.charge(costs.guard_eval, "dispatch")
+            guard = handle.guard
+            if guard is not None:
+                charge(guard_cost, "dispatch")
                 try:
-                    if not handle.guard(*args):
+                    if not guard(*args):
                         handle.guard_rejections += 1
                         continue
                 except Exception as exc:  # guard failure = no match, counted
@@ -165,11 +193,29 @@ class Dispatcher:
                     handle.last_error = exc
                     continue
             matched += 1
-            cpu.charge(costs.dispatch_per_handler, "dispatch")
+            charge(handler_cost, "dispatch")
             if handle.mode == "thread":
                 self._delegate_to_thread(handle, args)
+                continue
+            # Inline delivery (the body of _invoke_inline, flattened into
+            # the loop: one call frame per handler is measurable here).
+            handle.invocations += 1
+            self.total_invocations += 1
+            marker = cpu.begin()
+            try:
+                handle.handler(*args)
+            except Exception as exc:  # containment: may not crash kernel
+                handle.failures += 1
+                handle.last_error = exc
+            finally:
+                spent = cpu.end(marker)
+            if handle.time_limit is not None and spent > handle.time_limit:
+                # Premature termination: only the allotment is consumed
+                # (paper sec. 3.3).
+                handle.terminations += 1
+                cpu.recharge(handle.time_limit)
             else:
-                self._invoke_inline(handle, args)
+                cpu.recharge(spent)
         return matched
 
     # -- delivery -------------------------------------------------------------------

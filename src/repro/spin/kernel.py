@@ -21,7 +21,7 @@ a freshly spawned kernel thread (the "thread" bars).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from ..hw.cpu import INTERRUPT_PRIORITY
 from ..hw.host import Host
@@ -46,7 +46,9 @@ class SpinKernel(Host):
         self.mbufs = MbufPool(self)
         #: The full-kernel domain ("few extensions have access to this").
         self.kernel_domain = Domain.create("%s.kernel" % name)
-        self._device_input: Dict[str, Callable[[NIC, Frame], None]] = {}
+        #: nic name -> (input procedure, precomputed interrupt-path label)
+        self._device_input: Dict[
+            str, Tuple[Callable[[NIC, Frame], None], str]] = {}
         self.interrupts_handled = 0
 
     # -- extension services -------------------------------------------------
@@ -66,19 +68,26 @@ class SpinKernel(Host):
         every received frame (typically the link-layer protocol's input
         procedure, which raises ``PacketRecv`` events up the graph).
         """
-        self._device_input[nic.name] = input_fn
+        # The interrupt-process label is fixed per device: precompute it
+        # so the per-frame path does no string formatting.
+        self._device_input[nic.name] = (input_fn, "%s-intr" % nic.name)
 
     def frame_arrived(self, nic: NIC, frame: Frame) -> None:
-        input_fn = self._device_input.get(nic.name)
+        entry = self._device_input.get(nic.name)
+        if entry is not None:
+            input_fn, path_name = entry
+        else:
+            input_fn, path_name = None, "%s-intr" % nic.name
 
         def interrupt_body() -> None:
             costs = self.costs
-            self.cpu.charge(costs.interrupt_entry, "interrupt")
+            charge = self.cpu.charge
+            charge(costs.interrupt_entry, "interrupt")
             nic.driver_recv_charges(frame)
             if input_fn is not None:
                 input_fn(nic, frame.data)
-            self.cpu.charge(costs.interrupt_exit, "interrupt")
+            charge(costs.interrupt_exit, "interrupt")
             self.interrupts_handled += 1
 
         self.spawn_kernel_path(interrupt_body, priority=INTERRUPT_PRIORITY,
-                               name="%s-intr" % nic.name)
+                               name=path_name)

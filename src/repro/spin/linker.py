@@ -108,8 +108,8 @@ class DynamicLinker:
         self.rejected_count = 0
 
     def _charge(self, microseconds: float) -> None:
-        if self.host is not None and self.host.cpu.open_accumulators:
-            self.host.cpu.charge(microseconds, "linker")
+        if self.host is not None:
+            self.host.cpu.try_charge(microseconds, "linker")
 
     def link(self, extension: Extension, domain: Domain) -> LinkedExtension:
         """Verify, resolve, and initialize ``extension`` against ``domain``.
@@ -139,7 +139,10 @@ class DynamicLinker:
                 "symbols: %s" % (extension.name, domain.name, ", ".join(missing)))
 
         # Symbol resolution cost: a few lookups per import.
-        self._charge(2.0 + 0.5 * len(extension.imports))
+        costs = self.host.costs if self.host is not None else None
+        if costs is not None:
+            self._charge(costs.link_extension +
+                         costs.link_per_import * len(extension.imports))
         linked = LinkedExtension(extension, domain, environment)
         linked.installed_state = extension.init(environment)
         self.linked.append(linked)
@@ -159,6 +162,7 @@ class DynamicLinker:
             uninstall = getattr(handle, "uninstall", None)
             if callable(uninstall):
                 uninstall()
-        self._charge(3.0)
+        if self.host is not None:
+            self._charge(self.host.costs.unlink_extension)
         linked.unlinked = True
         self.linked.remove(linked)

@@ -68,7 +68,7 @@ class Mbuf:
     """One buffer in a packet chain."""
 
     __slots__ = ("_storage", "_cluster", "off", "len", "next", "pkthdr",
-                 "_frozen")
+                 "_frozen", "_ro_cache")
 
     def __init__(self, storage: Union[bytearray, _Cluster], off: int, length: int,
                  pkthdr: Optional[PacketHeader] = None):
@@ -83,6 +83,7 @@ class Mbuf:
         self.next: Optional["Mbuf"] = None
         self.pkthdr = pkthdr
         self._frozen = False
+        self._ro_cache: Optional[ReadOnlyBuffer] = None
 
     # -- constructors ----------------------------------------------------
 
@@ -106,6 +107,13 @@ class Mbuf:
     def from_bytes(cls, data: Union[bytes, bytearray], leading_space: int = 64,
                    rcvif=None) -> "Mbuf":
         """Build a packet chain holding ``data`` (with headroom for headers)."""
+        n = len(data)
+        if n + leading_space <= MLEN and leading_space < MLEN:
+            # Single small mbuf: the common case for every header-sized
+            # packet; skips the chain-building loop below.
+            storage = bytearray(MLEN)
+            storage[leading_space:leading_space + n] = data
+            return cls(storage, leading_space, n, PacketHeader(n, rcvif))
         data = bytes(data)
         head: Optional[Mbuf] = None
         tail: Optional[Mbuf] = None
@@ -145,10 +153,16 @@ class Mbuf:
     @property
     def data(self) -> Union[memoryview, ReadOnlyBuffer]:
         """This mbuf's bytes; read-only when the packet is frozen."""
-        window = memoryview(self._storage)[self.off:self.off + self.len]
         if self._frozen:
-            return ReadOnlyBuffer(window.toreadonly())
-        return window
+            # A frozen mbuf cannot change shape (every mutator raises), so
+            # the read-only window is built once and reused.
+            ro = self._ro_cache
+            if ro is None:
+                window = memoryview(self._storage)[self.off:self.off + self.len]
+                ro = ReadOnlyBuffer(window.toreadonly())
+                self._ro_cache = ro
+            return ro
+        return memoryview(self._storage)[self.off:self.off + self.len]
 
     def writable_data(self) -> memoryview:
         """Explicitly writable window; raises on frozen packets."""
@@ -163,10 +177,19 @@ class Mbuf:
 
     def length(self) -> int:
         """Total bytes in the chain starting here."""
-        return sum(m.len for m in self.chain())
+        # Plain while-loop: this runs for every guard evaluation on every
+        # packet, and the generator version costs three frames per mbuf.
+        total = 0
+        m: Optional[Mbuf] = self
+        while m is not None:
+            total += m.len
+            m = m.next
+        return total
 
     def to_bytes(self) -> bytes:
         """Linearized copy of the whole chain (a copy, always allowed)."""
+        if self.next is None:
+            return bytes(memoryview(self._storage)[self.off:self.off + self.len])
         return b"".join(bytes(memoryview(m._storage)[m.off:m.off + m.len])
                         for m in self.chain())
 
@@ -180,8 +203,10 @@ class Mbuf:
 
     def freeze(self) -> "Mbuf":
         """Mark the whole chain READONLY (idempotent); returns self."""
-        for m in self.chain():
+        m: Optional[Mbuf] = self
+        while m is not None:
             m._frozen = True
+            m = m.next
         return self
 
     def prepend(self, data: Union[bytes, bytearray]) -> "Mbuf":
@@ -190,7 +215,6 @@ class Mbuf:
         Returns the (possibly new) head of the chain.
         """
         self._check_writable("prepend to")
-        data = bytes(data)
         n = len(data)
         if n <= self.off:
             self.off -= n
@@ -350,7 +374,11 @@ class MbufPool:
         self.freed = 0
 
     def _charge_alloc(self, chain: Mbuf) -> Mbuf:
-        count = sum(1 for _ in chain.chain())
+        count = 1
+        m = chain.next
+        while m is not None:
+            count += 1
+            m = m.next
         self.host.cpu.charge(count * self.host.costs.mbuf_alloc, "mbuf")
         self.allocated += count
         return chain

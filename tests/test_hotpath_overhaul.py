@@ -1,0 +1,309 @@
+"""Tests for the hot-path wall-clock overhaul.
+
+Covers the surfaces the overhaul added or rewrote:
+
+* the word-wise Internet checksum against the per-byte reference oracle
+  (RFC 1071 vectors, the small/chunked path boundary, pseudo-header
+  folding via ``initial=``), including a no-copy regression bound,
+* whole-record ``Layout.pack_into``/``unpack_from`` and the scalar
+  getter/putter accessors,
+* ``raw_storage`` unwrapping,
+* the engine's zero-delay fast path and pooled timeouts,
+* the dispatcher's cached handler snapshot,
+* ``try_charge`` uncontexted-charge accounting.
+
+Simulated-time outputs must be unaffected by any of this; the
+byte-identical guard lives in ``benchmarks/test_wallclock.py``.
+"""
+
+import tracemalloc
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import VIEW, Layout, UINT16, UINT32, UINT16_LE
+from repro.lang.readonly import ReadOnlyBuffer
+from repro.lang.view import raw_storage
+from repro.net.checksum import (
+    internet_checksum,
+    internet_checksum_reference,
+)
+from repro.net.headers import (
+    ETHERNET_HEADER,
+    IP_HEADER,
+    UDP_HEADER,
+    pseudo_header,
+    pseudo_header_sum,
+)
+from repro.spin import DispatchError
+
+
+# ---------------------------------------------------------------------------
+# checksum: word-wise vs the per-byte oracle
+# ---------------------------------------------------------------------------
+
+class TestChecksumAgainstReference:
+    # Sizes straddling the single-int small path (<= 512 bytes) and the
+    # chunked path (2048-byte struct chunks), with odd-length variants.
+    BOUNDARY_SIZES = [0, 1, 2, 3, 511, 512, 513, 514,
+                      2047, 2048, 2049, 4096, 4099]
+
+    @pytest.mark.parametrize("size", BOUNDARY_SIZES)
+    def test_boundary_sizes_match_reference(self, size):
+        data = bytes((7 * i + 3) & 0xFF for i in range(size))
+        assert internet_checksum(data) == internet_checksum_reference(data)
+
+    @pytest.mark.parametrize("size", BOUNDARY_SIZES)
+    def test_all_ones_match_reference(self, size):
+        data = b"\xff" * size
+        assert internet_checksum(data) == internet_checksum_reference(data)
+
+    def test_rfc1071_worked_example(self):
+        # The example sum from RFC 1071 section 3.
+        data = bytes([0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7])
+        assert internet_checksum(data) == (~0xDDF2) & 0xFFFF
+
+    def test_initial_folds_like_prepended_bytes(self):
+        # Folding the pseudo-header arithmetically (the send/receive paths
+        # since the overhaul) must equal summing its bytes (the old code).
+        payload = bytes(range(97))  # odd length on purpose
+        src, dst, proto, length = 0x0A000001, 0x0A000002, 17, len(payload)
+        arithmetic = internet_checksum(
+            payload, initial=pseudo_header_sum(src, dst, proto, length))
+        concatenated = internet_checksum(
+            pseudo_header(src, dst, proto, length) + payload)
+        assert arithmetic == concatenated
+
+    @given(st.binary(min_size=0, max_size=5000),
+           st.integers(min_value=0, max_value=0x3FFFF))
+    @settings(max_examples=120)
+    def test_hypothesis_cross_check(self, data, initial):
+        assert (internet_checksum(data, initial)
+                == internet_checksum_reference(data, initial))
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=0xFFFF))
+    @settings(max_examples=60)
+    def test_pseudo_header_sum_equals_byte_sum(self, src, dst, proto, length):
+        assert (internet_checksum(b"", initial=pseudo_header_sum(
+                    src, dst, proto, length))
+                == internet_checksum(pseudo_header(src, dst, proto, length)))
+
+
+class TestChecksumZeroCopy:
+    def test_large_buffer_does_not_copy(self):
+        # The chunked path works over a memoryview in constant extra
+        # space; a regression to slicing/joining would show up as an
+        # allocation peak proportional to the input.
+        data = bytes(1024 * 1024)
+        expected = internet_checksum_reference(data[:4096])  # warm caches
+        assert expected == internet_checksum(data[:4096])
+        tracemalloc.start()
+        internet_checksum(data)
+        _current, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert peak < len(data) // 4, (
+            "checksum of a 1 MiB buffer allocated %d bytes peak" % peak)
+
+    def test_memoryview_input(self):
+        storage = bytearray(b"\x12\x34" * 2000)
+        view = memoryview(storage)
+        assert (internet_checksum(view)
+                == internet_checksum_reference(bytes(storage)))
+
+
+# ---------------------------------------------------------------------------
+# layout: whole-record struct + scalar accessors
+# ---------------------------------------------------------------------------
+
+class TestWholeRecordStruct:
+    def test_udp_header_roundtrip(self):
+        buf = bytearray(UDP_HEADER.size)
+        UDP_HEADER.pack_into(buf, 0, 7001, 7002, 36, 0xBEEF)
+        assert UDP_HEADER.unpack_from(buf, 0) == (7001, 7002, 36, 0xBEEF)
+        view = VIEW(buf, UDP_HEADER)
+        assert (view.src_port, view.dst_port) == (7001, 7002)
+        assert (view.length, view.checksum) == (36, 0xBEEF)
+
+    def test_byte_array_fields_pack_as_bytes(self):
+        buf = bytearray(ETHERNET_HEADER.size)
+        ETHERNET_HEADER.pack_into(buf, 0, b"\x01" * 6, b"\x02" * 6, 0x0800)
+        dst, src, ethertype = ETHERNET_HEADER.unpack_from(buf, 0)
+        assert (dst, src, ethertype) == (b"\x01" * 6, b"\x02" * 6, 0x0800)
+
+    def test_unpack_at_offset(self):
+        buf = bytearray(4) + bytes(IP_HEADER.size)
+        fields = IP_HEADER.unpack_from(buf, 4)
+        assert len(fields) == len(IP_HEADER.fields)
+
+    def test_mixed_byte_orders_have_no_whole_struct(self):
+        mixed = Layout("Mixed.T", [("a", UINT16), ("b", UINT16_LE)])
+        assert not hasattr(mixed, "pack_into")
+        assert not hasattr(mixed, "unpack_from")
+
+    def test_scalar_putter_matches_view_write(self):
+        put, offset = UDP_HEADER.scalar_putter("checksum")
+        buf = bytearray(UDP_HEADER.size)
+        put(buf, offset, 0xCAFE)
+        assert VIEW(buf, UDP_HEADER).checksum == 0xCAFE
+
+    def test_scalar_getter_matches_view_read(self):
+        get, offset = ETHERNET_HEADER.scalar_getter("type")
+        buf = bytearray(ETHERNET_HEADER.size)
+        VIEW(buf, ETHERNET_HEADER).type = 0x0806
+        assert get(buf, offset)[0] == 0x0806
+
+    def test_scalar_getter_unknown_field(self):
+        with pytest.raises(KeyError):
+            UDP_HEADER.scalar_getter("nope")
+
+
+class TestRawStorage:
+    def test_plain_buffers_pass_through(self):
+        for buf in (b"abc", bytearray(b"abc"), memoryview(b"abc")):
+            assert raw_storage(buf) is buf
+
+    def test_readonly_buffer_unwraps_without_copy(self):
+        storage = b"\x00" * 64
+        wrapped = ReadOnlyBuffer(storage)
+        assert raw_storage(wrapped) is storage
+
+    def test_unpack_through_readonly(self):
+        buf = bytearray(UDP_HEADER.size)
+        UDP_HEADER.pack_into(buf, 0, 1, 2, 8, 0)
+        assert (UDP_HEADER.unpack_from(raw_storage(ReadOnlyBuffer(buf)), 0)
+                == (1, 2, 8, 0))
+
+
+# ---------------------------------------------------------------------------
+# engine: zero-delay fast path and pooled timeouts
+# ---------------------------------------------------------------------------
+
+class TestPooledTimeouts:
+    def test_delay_advances_simulated_time(self, engine):
+        marks = []
+
+        def proc():
+            yield engine.pooled_timeout(5.0)
+            marks.append(engine.now)
+            yield engine.pooled_timeout(0.0)
+            marks.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert marks == [5.0, 5.0]
+
+    def test_zero_delay_events_fire_fifo(self, engine):
+        order = []
+
+        def proc(tag):
+            yield engine.pooled_timeout(0.0)
+            order.append(tag)
+
+        for tag in range(5):
+            engine.process(proc(tag))
+        engine.run()
+        assert order == sorted(order)
+
+    def test_pool_recycles_and_stays_bounded(self, engine):
+        def proc():
+            for _ in range(5000):
+                yield engine.pooled_timeout(0.0)
+
+        engine.process(proc())
+        engine.run()
+        assert 1 <= len(engine._pool) <= engine._POOL_LIMIT
+
+    def test_zero_delay_interleaves_with_heap_in_time_order(self, engine):
+        order = []
+
+        def late():
+            yield engine.timeout(1.0)
+            order.append("late")
+
+        def immediate():
+            yield engine.pooled_timeout(0.0)
+            order.append("immediate")
+
+        engine.process(late())
+        engine.process(immediate())
+        engine.run()
+        assert order == ["immediate", "late"]
+
+
+# ---------------------------------------------------------------------------
+# dispatcher: cached handler snapshot
+# ---------------------------------------------------------------------------
+
+class TestDispatcherSnapshot:
+    def test_install_during_raise_deferred_to_next_raise(self, kernel):
+        dispatcher = kernel.dispatcher
+        event = dispatcher.declare("Snap")
+        seen = []
+
+        def second(tag):
+            seen.append(("second", tag))
+
+        def first(tag):
+            seen.append(("first", tag))
+            if tag == 0:
+                dispatcher.install(event, second)
+
+        dispatcher.install(event, first)
+        marker = kernel.cpu.begin()
+        assert dispatcher.raise_event(event, 0) == 1
+        assert dispatcher.raise_event(event, 1) == 2
+        kernel.cpu.end(marker)
+        assert seen == [("first", 0), ("first", 1), ("second", 1)]
+
+    def test_uninstall_mid_raise_skips_handler(self, kernel):
+        dispatcher = kernel.dispatcher
+        event = dispatcher.declare("Snap2")
+        seen = []
+
+        handles = {}
+
+        def first(tag):
+            seen.append("first")
+            handles["second"].uninstall()
+
+        def second(tag):
+            seen.append("second")
+
+        dispatcher.install(event, first)
+        handles["second"] = dispatcher.install(event, second)
+        marker = kernel.cpu.begin()
+        matched = dispatcher.raise_event(event, 0)
+        kernel.cpu.end(marker)
+        assert matched == 1
+        assert seen == ["first"]
+
+    def test_raise_requires_event_capability(self, kernel):
+        with pytest.raises(DispatchError):
+            kernel.dispatcher.raise_event("not-an-event")
+
+
+# ---------------------------------------------------------------------------
+# cpu: uncontexted control-plane charges
+# ---------------------------------------------------------------------------
+
+class TestTryCharge:
+    def test_uninstall_outside_context_counts_uncontexted(self, kernel):
+        event = kernel.dispatcher.declare("X")
+        handle = kernel.dispatcher.install(event, lambda: None)
+        before = kernel.cpu.uncontexted_charges
+        before_us = kernel.cpu.uncontexted_charge_us
+        handle.uninstall()
+        assert kernel.cpu.uncontexted_charges == before + 1
+        assert (kernel.cpu.uncontexted_charge_us
+                == pytest.approx(before_us + kernel.costs.handler_uninstall))
+
+    def test_uninstall_inside_context_charges_accumulator(self, kernel):
+        event = kernel.dispatcher.declare("Y")
+        handle = kernel.dispatcher.install(event, lambda: None)
+        marker = kernel.cpu.begin()
+        handle.uninstall()
+        charged = kernel.cpu.end(marker)
+        assert charged == pytest.approx(kernel.costs.handler_uninstall)
