@@ -9,7 +9,6 @@ at; asserted shape: the in-kernel server wins clearly on small pages
 
 from repro.bench.http_bench import (
     cpu_scaling_sweep,
-    http_comparison,
     measure_spin_http,
     measure_unix_http,
 )

@@ -6,8 +6,6 @@ driver-to-driver ~53 Mb/s; T3 TCP unmeasured in the paper (SPIN DMA bug)
 -- reproduced as UDP throughput on both systems instead.
 """
 
-import pytest
-
 from repro.bench.throughput import (
     PAPER_SECTION42_MBPS,
     measure_plexus_tcp_throughput,

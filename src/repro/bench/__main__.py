@@ -30,6 +30,15 @@ def _wallclock(quick: bool) -> int:
         if "events_per_sec_vs_prechange" in row:
             line += "  %.2fx vs prechange" % row["events_per_sec_vs_prechange"]
         print(line)
+        cache = record.get("flow_cache")
+        if cache and cache.get("enabled"):
+            print("  flow-cache: %d hits / %d misses / %d invalidations"
+                  " / %d evictions (%d entries)"
+                  % (cache.get("hits", 0), cache.get("misses", 0),
+                     cache.get("invalidations", 0),
+                     cache.get("evictions", 0), cache.get("entries", 0)))
+        elif cache is not None:
+            print("  flow-cache: disabled (REPRO_FLOW_CACHE=0)")
         for warning in row.get("warnings", ()):
             print("  WARN: %s" % warning)
         for error in row.get("errors", ()):

@@ -36,10 +36,11 @@ against.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 __all__ = [
     "WORKLOADS",
@@ -53,7 +54,9 @@ __all__ = [
     "BASELINE_PATH",
 ]
 
-REPORT_SCHEMA_VERSION = 1
+#: Schema 2 adds the per-workload ``flow_cache`` section (hit/miss/
+#: invalidation/eviction counters of the compiled delivery paths).
+REPORT_SCHEMA_VERSION = 2
 REPORT_FILENAME = "BENCH_wallclock.json"
 
 #: repo-root and committed-baseline locations, resolved relative to this file
@@ -67,6 +70,24 @@ BASELINE_PATH = os.path.join(_REPO_ROOT, "benchmarks",
 # ---------------------------------------------------------------------------
 # workloads
 # ---------------------------------------------------------------------------
+
+def _flow_cache_counters(hosts) -> Dict:
+    """Aggregate flow-cache counters across every host in a workload.
+
+    Host-side observability only: the counters describe how many event
+    raises replayed a compiled plan versus walked the handler list, and
+    never feed the simulated-time fingerprint (they legitimately differ
+    under ``REPRO_FLOW_CACHE=0``).
+    """
+    total: Dict = {}
+    for host in hosts:
+        for key, value in host.dispatcher.flow_cache.counters().items():
+            if key == "enabled":
+                total[key] = bool(total.get(key)) or value
+            else:
+                total[key] = total.get(key, 0) + value
+    return total
+
 
 def _dispatcher_micro(scale: int) -> Dict:
     """Raw dispatch: 8 handlers (4 guarded), ``scale`` raises."""
@@ -107,6 +128,7 @@ def _dispatcher_micro(scale: int) -> Dict:
         "events_per_sec": invocations / wall if wall > 0 else 0.0,
         "packets": 0,
         "packets_per_sec": 0.0,
+        "flow_cache": kernel.dispatcher.flow_cache.counters(),
         "fingerprint": {
             "raises": scale,
             "invocations": invocations,
@@ -168,6 +190,7 @@ def _udp_pingpong(scale: int) -> Dict:
         "events_per_sec": events / wall if wall > 0 else 0.0,
         "packets": packets,
         "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        "flow_cache": _flow_cache_counters(bed.hosts),
         "fingerprint": {
             "trips": scale,
             "mean_rtt_us": sum(samples) / len(samples),
@@ -239,6 +262,7 @@ def _tcp_bulk(scale: int) -> Dict:
         "events_per_sec": events / wall if wall > 0 else 0.0,
         "packets": packets,
         "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        "flow_cache": _flow_cache_counters(bed.hosts),
         "fingerprint": {
             "bytes": state["received"],
             "segments": state["segments"],
@@ -274,7 +298,17 @@ def run_workload(name: str, quick: bool = False,
     scale = quick_scale if quick else full_scale
     best: Optional[Dict] = None
     for _ in range(max(1, repeats)):
-        record = fn(scale)
+        # Quiesce the cyclic collector around the timed region (pyperf
+        # does the same): GC pauses land randomly and are the dominant
+        # run-to-run noise source.  Simulated time cannot observe this.
+        gc_was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            record = fn(scale)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         if best is not None and record["fingerprint"] != best["fingerprint"]:
             raise AssertionError(
                 "workload %r is nondeterministic: fingerprint %r != %r"
@@ -325,7 +359,7 @@ def load_baseline(path: str = None) -> Optional[Dict]:
 
 
 def compare_to_baseline(report: Dict, baseline: Dict,
-                        slowdown_warn: float = 0.20) -> Dict:
+                        slowdown_warn: Optional[float] = None) -> Dict:
     """Compare a fresh report against the committed baseline.
 
     Returns a record per workload with the events/sec speedup versus both
@@ -333,8 +367,12 @@ def compare_to_baseline(report: Dict, baseline: Dict,
     (per-byte checksum, uncached dispatcher, un-pooled engine) numbers.
     Fingerprint mismatches are *errors* (simulated time drifted);
     slowdowns beyond ``slowdown_warn`` are *warnings* only, because
-    wall-clock numbers vary with host load.
+    wall-clock numbers vary with host load.  When ``slowdown_warn`` is
+    None the threshold comes from ``REPRO_BENCH_WARN_PCT`` (default 20).
     """
+    if slowdown_warn is None:
+        from .regression import bench_warn_pct
+        slowdown_warn = bench_warn_pct() / 100.0
     mode = "quick" if report["quick"] else "full"
     base_workloads = baseline.get(mode, {}).get("workloads", {})
     prechange = baseline.get(mode, {}).get("prechange", {})

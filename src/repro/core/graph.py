@@ -62,6 +62,7 @@ class GraphEdge:
         self.handle = handle
         self.label = label or handle.label
         self.removed = False
+        self.graph: Optional["ProtocolGraph"] = None
 
     @property
     def guard_name(self) -> str:
@@ -114,17 +115,49 @@ class ProtocolGraph:
     def add_edge(self, src: GraphNode, dst: GraphNode, handle: HandlerHandle,
                  label: str = "") -> GraphEdge:
         edge = GraphEdge(src, dst, handle, label)
+        edge.graph = self
         self.edges.append(edge)
         src.out_edges.append(edge)
         dst.in_edges.append(edge)
+        # Back-reference from the dispatcher handle: uninstalling the
+        # handle directly (not through remove_edge) drops the edge too,
+        # so render() and node edge lists never go stale.
+        handle.graph_edge = edge
         self.installs += 1
         return edge
+
+    def install(self, event: EventDecl, handler, src: GraphNode,
+                dst: GraphNode, guard=None, mode: str = "inline",
+                time_limit: Optional[float] = None,
+                label: str = "") -> GraphEdge:
+        """Install ``handler`` on ``event`` *and* record its edge, in one
+        step.
+
+        This is the authoritative install path: the dispatcher handle and
+        the graph edge are created together and torn down together, so
+        the graph always reflects live dispatch state.  Managers and the
+        stack's own wiring both go through here.
+        """
+        handle = self.host.dispatcher.install(
+            event, handler, guard=guard, mode=mode, time_limit=time_limit,
+            label=label)
+        return self.add_edge(src, dst, handle, label)
 
     def remove_edge(self, edge: GraphEdge) -> None:
         if edge.removed:
             return
         if edge.handle.installed:
+            # Uninstalling notifies us back through _unlink_edge.
             edge.handle.uninstall()
+        if not edge.removed:
+            self._unlink_edge(edge)
+
+    def _unlink_edge(self, edge: GraphEdge) -> None:
+        """Drop ``edge`` from the bookkeeping (idempotent; called from
+        HandlerHandle.uninstall so direct uninstalls cannot leave stale
+        edges behind)."""
+        if edge.removed:
+            return
         edge.removed = True
         self.edges.remove(edge)
         edge.src.out_edges.remove(edge)

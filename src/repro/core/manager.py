@@ -166,15 +166,16 @@ class _ManagerBase:
                       mode: str, time_limit: Optional[float],
                       extension_name: str,
                       on_uninstall: Optional[Callable[[], None]] = None) -> InstallHandle:
-        handle = self.host.dispatcher.install(
-            event, handler, guard=guard, mode=mode, time_limit=time_limit,
-            label=extension_name)
         graph = self.stack.graph
         if extension_name in graph.nodes:
             dst = graph.node(extension_name)
         else:
             dst = graph.add_node(extension_name, "extension")
-        edge = graph.add_edge(self.node, dst, handle)
+        # The graph is the single source of truth: handler and edge are
+        # installed (and later torn down) as one unit through it.
+        edge = graph.install(
+            event, handler, self.node, dst, guard=guard, mode=mode,
+            time_limit=time_limit, label=extension_name)
         return InstallHandle(edge, on_uninstall)
 
     def _charge_send_raise(self) -> None:
@@ -280,10 +281,19 @@ class IpManager(_ManagerBase):
         if mode == "inline":
             self._require_ephemeral(handler, mode)
         suppressed.add(port)
+        dispatcher = self.host.dispatcher
+        if ip_protocol == IPPROTO_TCP:
+            # The TCP-standard guard reads the diverted set live, but the
+            # redirect edge itself lives on the IP event -- the TCP event
+            # must be invalidated explicitly or cached plans would keep
+            # delivering the port locally.
+            dispatcher.invalidate_event(self.stack.tcp_recv_event)
 
         def cleanup() -> None:
             suppressed.discard(port)
             space.release(port, credential)
+            if ip_protocol == IPPROTO_TCP:
+                dispatcher.invalidate_event(self.stack.tcp_recv_event)
 
         return self._install_edge(
             self.stack.ip_recv_event, handler,
@@ -492,13 +502,16 @@ class TcpManager(_ManagerBase):
         def special_input(m, off, src_ip, dst_ip):
             special.input(m, off, src_ip, dst_ip)
 
-        handle = self.host.dispatcher.install(
-            self.stack.tcp_recv_event, special_input,
+        node = self.stack.graph.add_node("tcp:%s" % name, "extension")
+        self.stack.graph.install(
+            self.stack.tcp_recv_event, special_input, self.node, node,
             guard=filters.tcp_port_guard(port_list),
             mode=self.stack.deliver_mode, label="tcp-%s" % name)
-        node = self.stack.graph.add_node("tcp:%s" % name, "extension")
-        self.stack.graph.add_edge(self.node, node, handle)
         self.special_ports.update(port_list)
+        # The standard guard's exclusion set just changed; flush cached
+        # verdicts (the install above bumped the generation already, but
+        # the set mutation is the semantic trigger -- keep it explicit).
+        self.host.dispatcher.invalidate_event(self.stack.tcp_recv_event)
         return special
 
 

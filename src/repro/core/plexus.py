@@ -33,6 +33,7 @@ from ..net.headers import (
     IPPROTO_TCP,
     IPPROTO_UDP,
 )
+from ..net.flow import classify_frame
 from ..net.icmp import IcmpProto
 from ..net.ip import IpProto
 from ..net.link_adapter import EthernetAdapter, RawLinkProto
@@ -147,73 +148,91 @@ class PlexusStack:
         graph = self.graph
         mode = self.deliver_mode
         link_event = self.link_recv_event
+        flow_cache = dispatcher.flow_cache
+        raise_flow = dispatcher.raise_flow
 
         # Device -> link node: the link protocol's input (run at interrupt
-        # level by the kernel) freezes the packet and raises PacketRecv.
+        # level by the kernel) freezes the packet, classifies its flow
+        # once, and raises PacketRecv along the compiled path.  The
+        # classification is harness work, not simulated protocol work:
+        # nothing is charged for it, and with REPRO_FLOW_CACHE=0 every
+        # raise falls back to the linear guard scan.
         def link_upcall(nic, m):
             m.freeze()
-            dispatcher.raise_event(link_event, nic, m)
+            hdr = m.pkthdr
+            if flow_cache.enabled:
+                entry = flow_cache.entry_for(classify_frame(m, header_len))
+                if hdr is not None:
+                    hdr.flow = entry
+            else:
+                entry = None
+            raise_flow(link_event, entry, nic, m)
         bottom.upcall = link_upcall
 
         if self.ethernet is not None:
             # Ethernet -> IP (guard: type == IP)
             def eth_ip_handler(nic, m):
                 self.ip.input(m, header_len)
-            handle = dispatcher.install(
-                link_event, eth_ip_handler,
+            graph.install(
+                link_event, eth_ip_handler, link_node, graph.node("ip"),
                 guard=filters.ethertype_guard(ETHERTYPE_IP),
                 mode=mode, label="ip-input")
-            graph.add_edge(link_node, graph.node("ip"), handle)
 
             # Ethernet -> ARP (guard: type == ARP); ARP replies are cheap
             # and always handled inline.
             def eth_arp_handler(nic, m):
                 self.arp.input(m, header_len)
-            handle = dispatcher.install(
-                link_event, eth_arp_handler,
+            graph.install(
+                link_event, eth_arp_handler, link_node, graph.node("arp"),
                 guard=filters.ethertype_guard(ETHERTYPE_ARP),
                 mode="inline", label="arp-input")
-            graph.add_edge(link_node, graph.node("arp"), handle)
         else:
             # Raw link -> IP, unconditionally.
             def raw_ip_handler(nic, m):
                 self.ip.input(m, header_len)
-            handle = dispatcher.install(
-                link_event, raw_ip_handler, guard=None, mode=mode,
-                label="ip-input")
-            graph.add_edge(link_node, graph.node("ip"), handle)
+            graph.install(
+                link_event, raw_ip_handler, link_node, graph.node("ip"),
+                guard=None, mode=mode, label="ip-input")
 
-        # IP -> {UDP, TCP, ICMP} (guards on the protocol field).
+        # IP -> {UDP, TCP, ICMP} (guards on the protocol field).  The
+        # packet's flow entry (attached at the link layer) rides along;
+        # reassembled datagrams carry none and scan linearly.
+        ip_event = self.ip_recv_event
+
         def ip_upcall(protocol, m, off, src, dst):
-            dispatcher.raise_event(self.ip_recv_event, protocol, m, off, src, dst)
+            hdr = m.pkthdr
+            raise_flow(ip_event, hdr.flow if hdr is not None else None,
+                       protocol, m, off, src, dst)
         self.ip.upcall = ip_upcall
 
         def ip_udp_handler(protocol, m, off, src, dst):
             self.udp.input(m, off, src, dst)
-        handle = dispatcher.install(
-            self.ip_recv_event, ip_udp_handler,
+        graph.install(
+            ip_event, ip_udp_handler, graph.node("ip"), graph.node("udp"),
             guard=filters.ip_protocol_guard(IPPROTO_UDP), mode=mode,
             label="udp-input")
-        graph.add_edge(graph.node("ip"), graph.node("udp"), handle)
+
+        tcp_event = self.tcp_recv_event
 
         def ip_tcp_handler(protocol, m, off, src, dst):
-            dispatcher.raise_event(self.tcp_recv_event, m, off, src, dst)
-        handle = dispatcher.install(
-            self.ip_recv_event, ip_tcp_handler,
+            hdr = m.pkthdr
+            raise_flow(tcp_event, hdr.flow if hdr is not None else None,
+                       m, off, src, dst)
+        graph.install(
+            ip_event, ip_tcp_handler, graph.node("ip"), graph.node("tcp"),
             guard=filters.ip_protocol_guard(IPPROTO_TCP), mode=mode,
             label="tcp-input")
-        graph.add_edge(graph.node("ip"), graph.node("tcp"), handle)
 
         def ip_icmp_handler(protocol, m, off, src, dst):
             self.icmp.input(m, off, src, dst)
-        handle = dispatcher.install(
-            self.ip_recv_event, ip_icmp_handler,
+        graph.install(
+            ip_event, ip_icmp_handler, graph.node("ip"), graph.node("icmp"),
             guard=filters.ip_protocol_guard(IPPROTO_ICMP), mode=mode,
             label="icmp-input")
-        graph.add_edge(graph.node("ip"), graph.node("icmp"), handle)
 
         # TCP node -> standard implementation, excluding ports claimed by
-        # special implementations or IP-level redirects (live sets).
+        # special implementations or IP-level redirects (live sets; the
+        # TCP manager invalidates this event whenever they change).
         tcp_manager = self.tcp_manager
 
         def tcp_standard_guard(m, off, src_ip, dst_ip):
@@ -228,22 +247,23 @@ class PlexusStack:
 
         def tcp_standard_handler(m, off, src_ip, dst_ip):
             self.tcp.input(m, off, src_ip, dst_ip)
-        handle = dispatcher.install(
-            self.tcp_recv_event, tcp_standard_handler,
-            guard=tcp_standard_guard, mode=mode, label="tcp-standard")
         standard_node = graph.add_node("tcp:standard", "protocol")
-        graph.add_edge(graph.node("tcp"), standard_node, handle)
+        graph.install(
+            tcp_event, tcp_standard_handler, graph.node("tcp"), standard_node,
+            guard=tcp_standard_guard, mode=mode, label="tcp-standard")
 
         # UDP -> endpoints: raised by the UDP protocol after verification;
         # endpoint edges are installed by the UDP manager on demand.  The
         # diverted-ports check suppresses local delivery under a redirect.
         udp_manager = self.udp_manager
+        udp_event = self.udp_recv_event
 
         def udp_upcall(m, off, src_ip, src_port, dst_ip, dst_port):
             if dst_port in udp_manager.diverted_ports:
                 return
-            dispatcher.raise_event(self.udp_recv_event, m, off, src_ip,
-                                   src_port, dst_ip, dst_port)
+            hdr = m.pkthdr
+            raise_flow(udp_event, hdr.flow if hdr is not None else None,
+                       m, off, src_ip, src_port, dst_ip, dst_port)
         self.udp.upcall = udp_upcall
 
     # ------------------------------------------------------------------

@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, Generator, List, Tuple
 
 from ..sim import Engine, Process
 from .alpha import ALPHA_21064, CostTable
-from .cpu import CPU, THREAD_PRIORITY
+from .cpu import CPU, THREAD_PRIORITY, ChargeError
 
 __all__ = ["Host", "Timer"]
 
@@ -108,11 +108,18 @@ class Host:
         cpu = self.cpu
         request = cpu.resource.request(priority)
         yield request
-        marker = cpu.begin()
+        # cpu.begin()/end() inlined (exact bodies): one push/pop per path.
+        stack = cpu._stack
+        stack.append(0.0)
+        marker = len(stack)
         try:
             result = fn(*args)
         finally:
-            amount = cpu.end(marker)
+            if marker != len(stack):
+                raise ChargeError(
+                    "mismatched cpu.end(): marker %d but stack depth %d"
+                    % (marker, len(stack)))
+            amount = stack.pop()
             # Snapshot-and-reset, without allocating a fresh list when
             # nothing was deferred.  The empty snapshot must not alias the
             # live list: actions deferred while we sleep on the timeout

@@ -98,10 +98,28 @@ class NIC:
                 "frame of %d bytes exceeds %s MTU %d (+%d header)"
                 % (size, self.name, self.mtu, self.link_header))
         profile = self.profile
-        charge = host.cpu.charge
-        charge(profile.fixed_tx, "driver")
+        # cpu.charge inlined (exact body, exact order): per-frame path.
+        cpu = host.cpu
+        stack = cpu._stack
+        if not stack:
+            from .cpu import ChargeError
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        times = cpu.category_times
+        amount = profile.fixed_tx
+        stack[-1] += amount
+        try:
+            times["driver"] += amount
+        except KeyError:
+            times["driver"] = amount
         if profile.pio_tx_per_byte:
-            charge(size * profile.pio_tx_per_byte, "driver-pio")
+            amount = size * profile.pio_tx_per_byte
+            stack[-1] += amount
+            try:
+                times["driver-pio"] += amount
+            except KeyError:
+                times["driver-pio"] = amount
         frame = Frame(data, self.address, dst_addr,
                       wire_bytes=self.wire_bytes(size))
 
@@ -154,9 +172,28 @@ class NIC:
         """
         self.rx_pending -= 1
         profile = self.profile
-        self.host.cpu.charge(profile.fixed_rx, "driver")
+        # cpu.charge inlined (exact body, exact order): interrupt path.
+        cpu = self.host.cpu
+        stack = cpu._stack
+        if not stack:
+            from .cpu import ChargeError
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        times = cpu.category_times
+        amount = profile.fixed_rx
+        stack[-1] += amount
+        try:
+            times["driver"] += amount
+        except KeyError:
+            times["driver"] = amount
         if profile.pio_rx_per_byte:
-            self.host.cpu.charge(len(frame.data) * profile.pio_rx_per_byte, "driver-pio")
+            amount = len(frame.data) * profile.pio_rx_per_byte
+            stack[-1] += amount
+            try:
+                times["driver-pio"] += amount
+            except KeyError:
+                times["driver-pio"] = amount
 
     def __repr__(self) -> str:
         return "<%s %s addr=%s>" % (type(self).__name__, self.name, self.address)

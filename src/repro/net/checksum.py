@@ -22,7 +22,12 @@ bound million-packet experiment sweeps:
   extra allocation regardless of input size;
 * an optional numpy backend (``set_backend("numpy")`` or
   ``REPRO_CHECKSUM_BACKEND=numpy``) sums via a zero-copy ``>u2`` array
-  view; it is off by default so the stdlib path stays the reference.
+  view;
+* the default ``auto`` backend mixes the two by size: small buffers keep
+  the ``int.from_bytes`` path (numpy's per-call overhead loses below a
+  few hundred bytes) while large ones take the numpy view when numpy is
+  importable, falling back to the chunked stdlib loop when it is not.
+  ``REPRO_CHECKSUM_BACKEND=python`` forces the pure-stdlib reference.
 
 All backends produce bit-identical results; ``internet_checksum_reference``
 keeps the original per-byte implementation for cross-checking in tests.
@@ -41,6 +46,7 @@ __all__ = [
     "internet_checksum_reference",
     "verify_checksum",
     "charged_checksum",
+    "word_sum",
     "set_backend",
     "get_backend",
 ]
@@ -112,12 +118,33 @@ def _word_sum_numpy(data: Buffer) -> int:
     return total
 
 
-_BACKENDS = {"python": _word_sum_python, "numpy": _word_sum_numpy}
-_word_sum = _BACKENDS["python"]
+try:
+    import numpy as _numpy  # noqa: F401  (availability probe for "auto")
+except ImportError:  # pragma: no cover - exercised on numpy-free hosts
+    _numpy = None
+
+
+def _word_sum_auto(data: Buffer) -> int:
+    """Size-dispatched word sum: stdlib for small buffers, numpy for big.
+
+    All backends are congruent mod 0xFFFF, so the folded checksum is
+    bit-identical whichever path a given buffer takes.
+    """
+    if len(data) <= _SMALL or _numpy is None:
+        return _word_sum_python(data)
+    return _word_sum_numpy(data)
+
+
+_BACKENDS = {
+    "python": _word_sum_python,
+    "numpy": _word_sum_numpy,
+    "auto": _word_sum_auto,
+}
+_word_sum = _BACKENDS["auto"]
 
 
 def set_backend(name: str) -> None:
-    """Select the summation backend (``"python"`` or ``"numpy"``)."""
+    """Select the summation backend (``"auto"``, ``"python"``, ``"numpy"``)."""
     global _word_sum
     if name not in _BACKENDS:
         raise ValueError("unknown checksum backend %r (choose from %s)"
@@ -139,6 +166,19 @@ if os.environ.get("REPRO_CHECKSUM_BACKEND"):
         set_backend(os.environ["REPRO_CHECKSUM_BACKEND"])
     except ImportError:  # numpy requested but absent: keep the stdlib path
         pass
+
+
+def word_sum(data: Buffer) -> int:
+    """A value congruent mod 0xFFFF to ``data``'s 16-bit word sum.
+
+    Lets hot paths checksum discontiguous pieces (header + payload)
+    without concatenating: sum each even-length leading piece here and
+    fold it into ``initial``.  Congruence mod 0xFFFF is preserved under
+    addition, so :func:`internet_checksum` over the concatenation and
+    over the parts produce identical values whenever the total sum is
+    positive (always true with a nonzero pseudo-header).
+    """
+    return _word_sum(data)
 
 
 def internet_checksum(data: Buffer, initial: int = 0) -> int:

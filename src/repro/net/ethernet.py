@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..hw.cpu import ChargeError
 from ..hw.nic import NIC
 from ..lang.view import VIEW, TypedView
 from ..spin.mbuf import Mbuf
@@ -47,7 +48,20 @@ class EthernetProto:
         """Frame ``m`` and hand it to the device (plain code)."""
         if len(dst_mac) != 6:
             raise ValueError("destination MAC must be 6 bytes")
-        self.host.cpu.charge(self.host.costs.ethernet_output, "protocol")
+        # cpu.charge inlined (exact body, exact order): hot send path.
+        cpu = self.host.cpu
+        stack = cpu._stack
+        if not stack:
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        amount = self.host.costs.ethernet_output
+        stack[-1] += amount
+        times = cpu.category_times
+        try:
+            times["protocol"] += amount
+        except KeyError:
+            times["protocol"] = amount
         header = bytearray(self.HEADER_LEN)
         ETHERNET_HEADER.pack_into(header, 0, bytes(dst_mac),
                                   bytes(self.nic.address), ethertype)
@@ -64,7 +78,20 @@ class EthernetProto:
         """Device receive entry (plain code, interrupt context)."""
         if len(frame_data) < self.HEADER_LEN:
             return  # runt frame
-        self.host.cpu.charge(self.host.costs.ethernet_input, "protocol")
+        # cpu.charge inlined (exact body, exact order): interrupt path.
+        cpu = self.host.cpu
+        stack = cpu._stack
+        if not stack:
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        amount = self.host.costs.ethernet_input
+        stack[-1] += amount
+        times = cpu.category_times
+        try:
+            times["protocol"] += amount
+        except KeyError:
+            times["protocol"] = amount
         m = self.host.mbufs.from_bytes(frame_data, leading_space=0, rcvif=nic)
         m.pkthdr.timestamp = self.host.engine.now
         self.frames_in += 1

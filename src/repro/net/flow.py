@@ -1,0 +1,90 @@
+"""Flow classification for compiled delivery paths.
+
+:func:`classify_frame` reduces a received frame to its *flow key* --
+``(ethertype, ip_protocol, src_ip, dst_ip, src_port, dst_port)`` -- the
+tuple every demultiplexing guard in the stack is a pure function of.
+The link layer classifies each frame once, attaches the resulting
+:class:`~repro.spin.flowcache.FlowEntry` to ``m.pkthdr.flow``, and every
+event raise along the delivery path reuses it.
+
+This is host-side work on behalf of the simulation harness, not
+simulated protocol work: it charges nothing and must stay cheap -- plain
+byte indexing on the first mbuf, no views, no copies.
+
+Frames the key cannot soundly describe return ``None`` and take the
+linear dispatch path:
+
+* truncated link/IP/transport headers (guards apply their own length
+  checks, which the key must guarantee hold);
+* IP fragments (ports live only in the first fragment; the reassembled
+  datagram is classified as its own fresh packet);
+* headers split across mbufs (never produced by the current allocator,
+  which keeps at least the first 2KB contiguous).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .headers import ETHERTYPE_IP, IPPROTO_TCP, IPPROTO_UDP
+
+__all__ = ["classify_frame", "RAW_LINK"]
+
+#: ethertype slot used for raw (ATM/T3) links, which carry IP directly.
+RAW_LINK = -1
+
+
+def classify_frame(m, link_header_len: int) -> Optional[Tuple]:
+    """The flow key of frame ``m``, or ``None`` if unclassifiable.
+
+    ``link_header_len`` is 14 for Ethernet links and 0 for raw links.
+    The key guarantees every guard-visible header field and length
+    check: two frames with the same key are indistinguishable to every
+    manager-constructed guard in the stack.
+    """
+    storage = m._storage
+    base = m.off
+    contiguous = m.len
+    total = m.pkthdr.length if m.pkthdr is not None else m.length()
+    if link_header_len:
+        if contiguous < 14 or total < 14:
+            return None
+        ethertype = (storage[base + 12] << 8) | storage[base + 13]
+        if ethertype != ETHERTYPE_IP:
+            # ARP and application-claimed ethertypes demultiplex on the
+            # type field alone.
+            return (ethertype, None, None, None, None, None)
+    else:
+        ethertype = RAW_LINK
+    ip_off = link_header_len
+    if total < ip_off + 20 or contiguous < ip_off + 20:
+        return None
+    b = base + ip_off
+    vhl = storage[b]
+    if vhl >> 4 != 4:
+        return None
+    ihl = (vhl & 0x0F) * 4
+    if ihl < 20 or total < ip_off + ihl or contiguous < ip_off + ihl:
+        return None
+    if ((storage[b + 6] << 8) | storage[b + 7]) & 0x3FFF:
+        # MF set or nonzero fragment offset: no transport header here.
+        return None
+    protocol = storage[b + 9]
+    src_ip = ((storage[b + 12] << 24) | (storage[b + 13] << 16) |
+              (storage[b + 14] << 8) | storage[b + 15])
+    dst_ip = ((storage[b + 16] << 24) | (storage[b + 17] << 16) |
+              (storage[b + 18] << 8) | storage[b + 19])
+    t_off = ip_off + ihl
+    if protocol == IPPROTO_TCP:
+        # TCP guards view a full 20-byte header (from the first mbuf).
+        if total < t_off + 20 or contiguous < t_off + 20:
+            return None
+    elif protocol == IPPROTO_UDP:
+        if total < t_off + 8 or contiguous < t_off + 8:
+            return None
+    else:
+        return (ethertype, protocol, src_ip, dst_ip, None, None)
+    tb = base + t_off
+    src_port = (storage[tb] << 8) | storage[tb + 1]
+    dst_port = (storage[tb + 2] << 8) | storage[tb + 3]
+    return (ethertype, protocol, src_ip, dst_ip, src_port, dst_port)

@@ -15,9 +15,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..hw.cpu import ChargeError
 from ..lang.view import VIEW, TypedView, raw_storage
 from ..spin.mbuf import Mbuf
-from .checksum import charged_checksum
+from .checksum import charged_checksum, internet_checksum
 from .headers import IP_HEADER, ip_ntoa
 
 # Whole-header struct accessors (one C call instead of one VIEW access
@@ -77,6 +78,8 @@ class IpProto:
         self.upcall: Optional[Callable] = None
         #: longest-prefix routes: (network, prefix_len, adapter, gateway)
         self.routes: List[Tuple[int, int, object, Optional[int]]] = []
+        #: dst -> (adapter, next_hop) memo; cleared whenever routes change
+        self._route_cache: Dict[int, Tuple[object, int]] = {}
         #: True on routers: packets not for us are forwarded, not dropped
         self.forwarding = False
         self._ident = 0
@@ -125,15 +128,24 @@ class IpProto:
                             adapter if adapter is not None else self.lower,
                             gateway))
         self.routes.sort(key=lambda route: -route[1])
+        self._route_cache.clear()
 
     def route_for(self, dst: int):
         """(adapter, next_hop) for ``dst``."""
+        hit = self._route_cache.get(dst)
+        if hit is not None:
+            return hit
+        result = None
         for network, prefix_len, adapter, gateway in self.routes:
             mask = 0 if prefix_len == 0 else \
                 (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
             if (dst & mask) == (network & mask):
-                return adapter, (gateway if gateway is not None else dst)
-        return self.lower, dst
+                result = adapter, (gateway if gateway is not None else dst)
+                break
+        if result is None:
+            result = self.lower, dst
+        self._route_cache[dst] = result
+        return result
 
     def accepts(self, dst: int) -> bool:
         return (dst in (self.my_ip, IP_BROADCAST) or dst in self._groups
@@ -146,7 +158,20 @@ class IpProto:
                dont_fragment: bool = False) -> None:
         """Send payload chain ``m`` to ``dst`` (plain code)."""
         host = self.host
-        host.cpu.charge(host.costs.ip_output, "protocol")
+        cpu = host.cpu
+        # cpu.charge inlined (exact body, exact order): hot send path.
+        stack = cpu._stack
+        if not stack:
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        times = cpu.category_times
+        amount = host.costs.ip_output
+        stack[-1] += amount
+        try:
+            times["protocol"] += amount
+        except KeyError:
+            times["protocol"] = amount
         src = self.my_ip if src is None else src
         self._ident = (self._ident + 1) & 0xFFFF
         ident = self._ident
@@ -190,8 +215,21 @@ class IpProto:
         header = bytearray(self.HEADER_LEN)
         _IP_PACK(header, 0, 0x45, 0, total_length, ident,
                  frag_field, ttl, protocol, 0, src, dst)
-        _IP_PUT_CKSUM(header, _IP_CKSUM_OFF,
-                      charged_checksum(self.host, header, category="checksum"))
+        # charged_checksum inlined (exact charge body and order).
+        cpu = self.host.cpu
+        stack = cpu._stack
+        if not stack:
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        amount = len(header) * self.host.costs.checksum_per_byte
+        stack[-1] += amount
+        times = cpu.category_times
+        try:
+            times["checksum"] += amount
+        except KeyError:
+            times["checksum"] = amount
+        _IP_PUT_CKSUM(header, _IP_CKSUM_OFF, internet_checksum(header))
         return m.prepend(header)
 
     # -- receive path -------------------------------------------------------------
@@ -199,7 +237,20 @@ class IpProto:
     def input(self, m: Mbuf, off: int) -> None:
         """Process a received packet whose IP header is at ``off``."""
         host = self.host
-        host.cpu.charge(host.costs.ip_input, "protocol")
+        cpu = host.cpu
+        # cpu.charge inlined (exact body, exact order): hot receive path.
+        stack = cpu._stack
+        if not stack:
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        times = cpu.category_times
+        amount = host.costs.ip_input
+        stack[-1] += amount
+        try:
+            times["protocol"] += amount
+        except KeyError:
+            times["protocol"] = amount
         data = m.data
         if len(data) < off + self.HEADER_LEN:
             self.header_errors += 1
@@ -210,8 +261,15 @@ class IpProto:
         if vhl != 0x45:  # version 4, header length 5 words
             self.header_errors += 1
             return
-        header_bytes = data[off:off + self.HEADER_LEN]
-        if charged_checksum(host, header_bytes) != 0:
+        # charged_checksum inlined; summed over the storage window
+        # (zero copy) rather than a sliced-out header copy.
+        amount = self.HEADER_LEN * host.costs.checksum_per_byte
+        stack[-1] += amount
+        try:
+            times["checksum"] += amount
+        except KeyError:
+            times["checksum"] = amount
+        if internet_checksum(storage[off:off + self.HEADER_LEN]) != 0:
             self.header_errors += 1
             return
         if not self.accepts(dst):

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Tuple
 
+from ...hw.cpu import ChargeError
 from ...lang.view import raw_storage
 from ...spin.mbuf import Mbuf
-from ..checksum import internet_checksum
+from ..checksum import internet_checksum, word_sum
 from ..headers import (IPPROTO_TCP, PSEUDO_HEADER_LEN, TCP_HEADER,
                        pseudo_header_sum)
 from ..ip import IpProto
@@ -122,7 +123,21 @@ class TcpProto:
         SYN segments carry the MSS option (RFC 879), so endpoints with
         different link MTUs converge on the smaller maximum.
         """
-        self.host.cpu.charge(self.host.costs.tcp_output, "protocol")
+        host = self.host
+        # cpu.charge inlined (exact body, exact order): per-segment path.
+        cpu = host.cpu
+        stack = cpu._stack
+        if not stack:
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        times = cpu.category_times
+        amount = host.costs.tcp_output
+        stack[-1] += amount
+        try:
+            times["protocol"] += amount
+        except KeyError:
+            times["protocol"] = amount
         options = b""
         if flags & 0x02:  # SYN: advertise our MSS
             options = bytes([2, 4]) + self.default_mss.to_bytes(2, "big")
@@ -132,14 +147,21 @@ class TcpProto:
                   ((header_len // 4) << 12) | flags, min(window, 0xFFFF), 0, 0)
         header[self.HEADER_LEN:] = options
         length = header_len + len(payload)
-        self.host.cpu.charge(
-            (PSEUDO_HEADER_LEN + length) * self.host.costs.checksum_per_byte,
-            "checksum")
+        amount = (PSEUDO_HEADER_LEN + length) * host.costs.checksum_per_byte
+        stack[-1] += amount
+        try:
+            times["checksum"] += amount
+        except KeyError:
+            times["checksum"] = amount
+        # The header's word sum folds into ``initial`` (even length, and
+        # the pseudo-header keeps the total positive), so the checksum is
+        # bit-identical to summing header+payload concatenated -- without
+        # materializing the concatenation a second time.
         _TCP_PUT_CKSUM(header, _TCP_CKSUM_OFF, internet_checksum(
-            bytes(header) + payload,
+            payload,
             initial=pseudo_header_sum(tcb.laddr, tcb.raddr, IPPROTO_TCP,
-                                      length)))
-        m = self.host.mbufs.from_bytes(bytes(header) + payload, leading_space=64)
+                                      length) + word_sum(header)))
+        m = host.mbufs.from_bytes(bytes(header) + payload, leading_space=64)
         self.segments_out += 1
         self.ip.output(m, tcb.raddr, IPPROTO_TCP, src=tcb.laddr)
 
@@ -185,29 +207,53 @@ class TcpProto:
 
     def input(self, m: Mbuf, off: int, src_ip: int, dst_ip: int) -> None:
         """Process a segment whose TCP header is at ``off`` (plain code)."""
-        self.host.cpu.charge(self.host.costs.tcp_input, "protocol")
+        host = self.host
+        # cpu.charge inlined (exact body, exact order): per-segment path.
+        cpu = host.cpu
+        stack = cpu._stack
+        if not stack:
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        times = cpu.category_times
+        amount = host.costs.tcp_input
+        stack[-1] += amount
+        try:
+            times["protocol"] += amount
+        except KeyError:
+            times["protocol"] = amount
         data = m.data
         if len(data) < off + self.HEADER_LEN:
             return
-        segment_bytes = m.to_bytes()[off:]
-        self.host.cpu.charge(
-            (PSEUDO_HEADER_LEN + len(segment_bytes))
-            * self.host.costs.checksum_per_byte, "checksum")
+        if m.next is None:
+            # Single-mbuf segment: checksum over a storage window, no copy.
+            start = m.off + off
+            segment = memoryview(m._storage)[start:m.off + m.len]
+        else:
+            # Chain: linearize once, then slice zero-copy views of it.
+            segment = memoryview(m.to_bytes())[off:]
+        seg_len = len(segment)
+        amount = (PSEUDO_HEADER_LEN + seg_len) * host.costs.checksum_per_byte
+        stack[-1] += amount
+        try:
+            times["checksum"] += amount
+        except KeyError:
+            times["checksum"] = amount
         if internet_checksum(
-                segment_bytes,
+                segment,
                 initial=pseudo_header_sum(src_ip, dst_ip, IPPROTO_TCP,
-                                          len(segment_bytes))) != 0:
+                                          seg_len)) != 0:
             self.checksum_errors += 1
             return
         (src_port, dst_port, seq, ack, off_flags, window, _cksum,
          _urgent) = _TCP_UNPACK(raw_storage(data), off)
         data_off = (off_flags >> 12) * 4
         flags = off_flags & 0x3F
-        payload = segment_bytes[data_off:]
+        payload = bytes(segment[data_off:])
         mss = None
         if data_off > self.HEADER_LEN:
             mss = self._parse_mss_option(
-                segment_bytes[self.HEADER_LEN:data_off])
+                bytes(segment[self.HEADER_LEN:data_off]))
         self.segments_in += 1
         seg = TcpSegment(seq, ack, flags, window, payload, mss=mss)
 

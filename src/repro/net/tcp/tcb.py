@@ -83,6 +83,20 @@ RST = 0x04
 PSH = 0x08
 ACK = 0x10
 
+# State -> input handler method name (built once; the per-segment path
+# does one dict probe instead of rebuilding this table).
+_INPUT_HANDLERS = {
+    TcpState.SYN_SENT: "_input_syn_sent",
+    TcpState.SYN_RCVD: "_input_synchronized",
+    TcpState.ESTABLISHED: "_input_synchronized",
+    TcpState.FIN_WAIT_1: "_input_synchronized",
+    TcpState.FIN_WAIT_2: "_input_synchronized",
+    TcpState.CLOSE_WAIT: "_input_synchronized",
+    TcpState.CLOSING: "_input_synchronized",
+    TcpState.LAST_ACK: "_input_synchronized",
+    TcpState.TIME_WAIT: "_input_time_wait",
+}
+
 
 class Tcb:
     """One TCP connection."""
@@ -293,19 +307,9 @@ class Tcb:
         if seg.flags & RST:
             self._handle_rst(seg)
             return
-        handler = {
-            TcpState.SYN_SENT: self._input_syn_sent,
-            TcpState.SYN_RCVD: self._input_synchronized,
-            TcpState.ESTABLISHED: self._input_synchronized,
-            TcpState.FIN_WAIT_1: self._input_synchronized,
-            TcpState.FIN_WAIT_2: self._input_synchronized,
-            TcpState.CLOSE_WAIT: self._input_synchronized,
-            TcpState.CLOSING: self._input_synchronized,
-            TcpState.LAST_ACK: self._input_synchronized,
-            TcpState.TIME_WAIT: self._input_time_wait,
-        }.get(self.state)
-        if handler is not None:
-            handler(seg)
+        handler_name = _INPUT_HANDLERS.get(self.state)
+        if handler_name is not None:
+            getattr(self, handler_name)(seg)
 
     def accept_syn(self, seg: TcpSegment) -> None:
         """Passive open: a listener routed a SYN to this new TCB."""
@@ -510,7 +514,9 @@ class Tcb:
     # -- data receive machinery ---------------------------------------------------
 
     def _rcv_window(self) -> int:
-        pending = self.delivered_unconsumed + sum(len(v) for v in self._reass.values())
+        pending = self.delivered_unconsumed
+        if self._reass:  # reassembly queue is empty in-order (common case)
+            pending += sum(len(v) for v in self._reass.values())
         return max(0, self.rcv_buf_limit - pending)
 
     def _process_data(self, seq: int, payload: bytes) -> None:
@@ -605,7 +611,8 @@ class Tcb:
                 break  # silly-window avoidance: wait for a fuller segment
             if length < self.mss and self._flight() > 0 and not self.nodelay:
                 break  # Nagle: coalesce small writes while data is unacked
-            chunk = bytes(self.snd_buf[offset:offset + length])
+            # One memcpy: slicing the bytearray first would copy twice.
+            chunk = bytes(memoryview(self.snd_buf)[offset:offset + length])
             push = (offset + length == len(self.snd_buf))
             self._send_data(self.snd_nxt, chunk, push)
             if self._rtt_seq is None:
@@ -629,7 +636,7 @@ class Tcb:
         offset = 0
         length = min(len(self.snd_buf), self.mss)
         if length > 0:
-            chunk = bytes(self.snd_buf[offset:offset + length])
+            chunk = bytes(memoryview(self.snd_buf)[offset:offset + length])
             self._send_data(self.snd_una, chunk, push=True)
         elif self.fin_sent_seq is not None:
             self._send_control(FIN | ACK, seq=self.fin_sent_seq)

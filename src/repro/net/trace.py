@@ -38,6 +38,38 @@ _TCP_FLAG_NAMES = [(0x02, "SYN"), (0x10, "ACK"), (0x01, "FIN"),
                    (0x04, "RST"), (0x08, "PSH"), (0x20, "URG")]
 
 
+def _decode_tcp_options(options: bytes) -> str:
+    """tcpdump-style rendering of a TCP options block (RFC 793/1323)."""
+    parts = []
+    index = 0
+    n = len(options)
+    while index < n:
+        kind = options[index]
+        if kind == 0:            # end of option list
+            parts.append("eol")
+            break
+        if kind == 1:            # no-op padding
+            parts.append("nop")
+            index += 1
+            continue
+        if index + 1 >= n:
+            parts.append("malformed")
+            break
+        length = options[index + 1]
+        if length < 2 or index + length > n:
+            parts.append("malformed")
+            break
+        if kind == 2 and length == 4:       # maximum segment size
+            parts.append(
+                "mss %d" % int.from_bytes(options[index + 2:index + 4], "big"))
+        elif kind == 3 and length == 3:     # window scale (RFC 1323)
+            parts.append("ws %d" % options[index + 2])
+        else:
+            parts.append("opt-%d" % kind)
+        index += length
+    return ",".join(parts)
+
+
 def _decode_tcp(data: bytes, off: int) -> str:
     if len(data) < off + TCP_HEADER.size:
         return "tcp <truncated>"
@@ -46,9 +78,14 @@ def _decode_tcp(data: bytes, off: int) -> str:
     names = "|".join(name for bit, name in _TCP_FLAG_NAMES if flags & bit)
     header_len = (view.off_flags >> 12) * 4
     payload = len(data) - off - header_len
-    return ("tcp %d>%d [%s] seq=%d ack=%d win=%d len=%d"
+    text = ("tcp %d>%d [%s] seq=%d ack=%d win=%d len=%d"
             % (view.src_port, view.dst_port, names or ".", view.seq,
                view.ack, view.window, max(payload, 0)))
+    options_end = off + header_len
+    if header_len > TCP_HEADER.size and len(data) >= options_end:
+        text += " opts=[%s]" % _decode_tcp_options(
+            bytes(data[off + TCP_HEADER.size:options_end]))
+    return text
 
 
 def _decode_udp(data: bytes, off: int) -> str:

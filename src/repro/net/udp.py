@@ -15,9 +15,10 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
+from ..hw.cpu import ChargeError
 from ..lang.view import VIEW, TypedView, raw_storage
 from ..spin.mbuf import Mbuf
-from .checksum import internet_checksum
+from .checksum import internet_checksum, word_sum
 from .headers import (IPPROTO_UDP, PSEUDO_HEADER_LEN, UDP_HEADER,
                       pseudo_header_sum)
 from .ip import IpProto
@@ -54,9 +55,22 @@ class UdpProto:
             raise ValueError("invalid UDP port %r" % (
                 src_port if not 0 < src_port <= 0xFFFF else dst_port))
         host = self.host
-        charge = host.cpu.charge
         costs = host.costs
-        charge(costs.udp_output, "protocol")
+        cpu = host.cpu
+        # cpu.charge inlined (exact body, exact order): one datagram send
+        # per simulated packet makes the charge call frames measurable.
+        stack = cpu._stack
+        if not stack:
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        times = cpu.category_times
+        amount = costs.udp_output
+        stack[-1] += amount
+        try:
+            times["protocol"] += amount
+        except KeyError:
+            times["protocol"] = amount
         src_ip = self.ip.my_ip if src_ip is None else src_ip
         length = self.HEADER_LEN + m.length()
         header = bytearray(self.HEADER_LEN)
@@ -64,11 +78,22 @@ class UdpProto:
         if checksum:
             # The pseudo-header is folded in arithmetically (initial=);
             # the charge covers it as if the bytes had been summed.
-            charge((PSEUDO_HEADER_LEN + length) * costs.checksum_per_byte,
-                   "checksum")
+            amount = (PSEUDO_HEADER_LEN + length) * costs.checksum_per_byte
+            stack[-1] += amount
+            try:
+                times["checksum"] += amount
+            except KeyError:
+                times["checksum"] = amount
+            # The header sum folds into initial= (congruence mod 0xFFFF),
+            # so the payload is summed in place -- no concatenation copy.
+            if m.next is None:
+                payload = memoryview(m._storage)[m.off:m.off + m.len]
+            else:
+                payload = m.to_bytes()
             value = internet_checksum(
-                bytes(header) + m.to_bytes(),
-                initial=pseudo_header_sum(src_ip, dst_ip, IPPROTO_UDP, length))
+                payload,
+                initial=pseudo_header_sum(src_ip, dst_ip, IPPROTO_UDP, length)
+                + word_sum(header))
             _UDP_PUT_CKSUM(header, _UDP_CKSUM_OFF,
                            value if value != 0 else 0xFFFF)
         else:
@@ -82,7 +107,20 @@ class UdpProto:
     def input(self, m: Mbuf, off: int, src_ip: int, dst_ip: int) -> None:
         """Process a datagram whose UDP header is at ``off`` (plain code)."""
         host = self.host
-        host.cpu.charge(host.costs.udp_input, "protocol")
+        cpu = host.cpu
+        # cpu.charge inlined (exact body, exact order): hot receive path.
+        stack = cpu._stack
+        if not stack:
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        times = cpu.category_times
+        amount = host.costs.udp_input
+        stack[-1] += amount
+        try:
+            times["protocol"] += amount
+        except KeyError:
+            times["protocol"] = amount
         data = m.data
         if len(data) < off + self.HEADER_LEN:
             return
@@ -90,10 +128,20 @@ class UdpProto:
         if length < self.HEADER_LEN or off + length > m.length():
             return
         if cksum != 0:
-            segment = m.to_bytes()[off:off + length]
-            host.cpu.charge(
-                (PSEUDO_HEADER_LEN + length) * host.costs.checksum_per_byte,
-                "checksum")
+            # Verify in place over the mbuf storage window (zero copy) when
+            # the datagram is contiguous; chained datagrams linearize.
+            if m.next is None:
+                segment = memoryview(m._storage)[m.off + off:
+                                                 m.off + off + length]
+            else:
+                segment = m.to_bytes()[off:off + length]
+            amount = ((PSEUDO_HEADER_LEN + length)
+                      * host.costs.checksum_per_byte)
+            stack[-1] += amount
+            try:
+                times["checksum"] += amount
+            except KeyError:
+                times["checksum"] = amount
             if internet_checksum(
                     segment,
                     initial=pseudo_header_sum(src_ip, dst_ip, IPPROTO_UDP,

@@ -27,7 +27,8 @@ from __future__ import annotations
 import itertools
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..hw.cpu import THREAD_PRIORITY
+from ..hw.cpu import THREAD_PRIORITY, ChargeError
+from .flowcache import CompiledPlan, FlowCache, FlowEntry
 
 __all__ = ["Dispatcher", "EventDecl", "HandlerHandle", "DispatchError"]
 
@@ -46,7 +47,7 @@ class HandlerHandle:
     """
 
     __slots__ = ("event", "handler", "guard", "mode", "time_limit", "label",
-                 "handler_id", "installed", "invocations",
+                 "handler_id", "installed", "graph_edge", "invocations",
                  "guard_rejections", "terminations", "failures", "last_error")
 
     def __init__(self, event: "EventDecl", handler: Callable, guard: Optional[Callable],
@@ -59,6 +60,10 @@ class HandlerHandle:
         self.label = label or getattr(handler, "__name__", "handler")
         self.handler_id = next(_handler_ids)
         self.installed = True
+        #: the ProtocolGraph edge carrying this handle, when one exists;
+        #: set by the graph so uninstalling from either side keeps the
+        #: graph and the dispatcher in lockstep.
+        self.graph_edge = None
         # statistics
         self.invocations = 0
         self.guard_rejections = 0
@@ -73,6 +78,11 @@ class HandlerHandle:
         self.installed = False
         host = self.event.dispatcher.host
         host.cpu.try_charge(host.costs.handler_uninstall, "dispatch")
+        edge = self.graph_edge
+        if edge is not None and not edge.removed:
+            # Keep the graph authoritative: dropping the handler drops its
+            # edge immediately, however the uninstall was reached.
+            edge.graph._unlink_edge(edge)
 
     def __repr__(self) -> str:
         return "<HandlerHandle %s on %s mode=%s%s>" % (
@@ -92,7 +102,8 @@ class EventDecl:
     allocating on the hot path.
     """
 
-    __slots__ = ("dispatcher", "name", "handlers", "raise_count", "_snapshot")
+    __slots__ = ("dispatcher", "name", "handlers", "raise_count", "_snapshot",
+                 "generation")
 
     def __init__(self, dispatcher: "Dispatcher", name: str):
         self.dispatcher = dispatcher
@@ -100,14 +111,20 @@ class EventDecl:
         self.handlers: List[HandlerHandle] = []
         self.raise_count = 0
         self._snapshot: Tuple[HandlerHandle, ...] = ()
+        #: bumped on every install/uninstall (and by explicit
+        #: ``Dispatcher.invalidate_event``); compiled flow plans recorded
+        #: against an older generation are stale and recompile lazily.
+        self.generation = 0
 
     def _append(self, handle: HandlerHandle) -> None:
         self.handlers.append(handle)
         self._snapshot = tuple(self.handlers)
+        self.generation += 1
 
     def _remove(self, handle: HandlerHandle) -> None:
         self.handlers.remove(handle)
         self._snapshot = tuple(self.handlers)
+        self.generation += 1
 
     def __repr__(self) -> str:
         return "<Event %s (%d handlers)>" % (self.name, len(self.handlers))
@@ -123,6 +140,17 @@ class Dispatcher:
         self.events: Dict[str, EventDecl] = {}
         self.total_raises = 0
         self.total_invocations = 0
+        self.flow_cache = FlowCache()
+
+    def invalidate_event(self, event: EventDecl) -> None:
+        """Invalidate every compiled flow plan recorded for ``event``.
+
+        Managers call this when live state a guard reads (e.g. the TCP
+        special/diverted port sets) changes without an install on the
+        event itself.  Per-event generation bump: plans for other events
+        stay valid -- no global flush.
+        """
+        event.generation += 1
 
     # -- declaration ------------------------------------------------------
 
@@ -170,7 +198,8 @@ class Dispatcher:
                 "raise_event requires an EventDecl capability") from None
         costs = self.host.costs
         cpu = self.host.cpu
-        charge = cpu.charge
+        stack = cpu._stack
+        times = cpu.category_times
         guard_cost = costs.guard_eval
         handler_cost = costs.dispatch_per_handler
         event.raise_count += 1
@@ -178,12 +207,23 @@ class Dispatcher:
         matched = 0
         # The snapshot is the cached scan; it only changes on
         # install/uninstall, so the common raise allocates nothing.
+        # cpu.charge / begin / end / recharge are inlined below (exact
+        # bodies, exact order): at one dispatch per simulated packet hop
+        # the call frames themselves dominate host-side dispatch time.
         for handle in snapshot:
             if not handle.installed:
                 continue
             guard = handle.guard
             if guard is not None:
-                charge(guard_cost, "dispatch")
+                if not stack:
+                    raise ChargeError(
+                        "cpu.charge() outside begin()/end(); protocol code "
+                        "must run under a kernel execution context")
+                stack[-1] += guard_cost
+                try:
+                    times["dispatch"] += guard_cost
+                except KeyError:
+                    times["dispatch"] = guard_cost
                 try:
                     if not guard(*args):
                         handle.guard_rejections += 1
@@ -193,12 +233,177 @@ class Dispatcher:
                     handle.last_error = exc
                     continue
             matched += 1
-            charge(handler_cost, "dispatch")
+            if not stack:
+                raise ChargeError(
+                    "cpu.charge() outside begin()/end(); protocol code "
+                    "must run under a kernel execution context")
+            stack[-1] += handler_cost
+            try:
+                times["dispatch"] += handler_cost
+            except KeyError:
+                times["dispatch"] = handler_cost
             if handle.mode == "thread":
                 self._delegate_to_thread(handle, args)
                 continue
             # Inline delivery (the body of _invoke_inline, flattened into
             # the loop: one call frame per handler is measurable here).
+            handle.invocations += 1
+            self.total_invocations += 1
+            stack.append(0.0)
+            marker = len(stack)
+            try:
+                handle.handler(*args)
+            except Exception as exc:  # containment: may not crash kernel
+                handle.failures += 1
+                handle.last_error = exc
+            finally:
+                if marker != len(stack):
+                    raise ChargeError(
+                        "mismatched cpu.end(): marker %d but stack depth %d"
+                        % (marker, len(stack)))
+                spent = stack.pop()
+            limit = handle.time_limit
+            if limit is not None and spent > limit:
+                # Premature termination: only the allotment is consumed
+                # (paper sec. 3.3).
+                handle.terminations += 1
+                stack[-1] += limit
+            else:
+                stack[-1] += spent
+        return matched
+
+    # -- flow-cached raising ------------------------------------------------------
+
+    def raise_flow(self, event: EventDecl, flow: Optional[FlowEntry],
+                   *args) -> int:
+        """Raise ``event`` along a classified flow (plain code).
+
+        Semantically identical to :meth:`raise_event` -- same handlers
+        run, same statistics move, same simulated costs are charged in
+        the same order -- but on a cache hit the recorded guard verdicts
+        are replayed instead of calling each guard, which is where the
+        host-side demultiplexing time goes.  ``flow`` is the packet's
+        :class:`FlowEntry` (``None`` falls back to the linear scan).
+        """
+        if flow is None:
+            return self.raise_event(event, *args)
+        plan = flow.plans.get(event)
+        cache = self.flow_cache
+        if plan is not None:
+            if plan.generation == event.generation:
+                cache.hits += 1
+                return self._replay_plan(event, plan.steps, args)
+            cache.invalidations += 1
+        else:
+            cache.misses += 1
+        return self._record_plan(event, flow, args)
+
+    def _replay_plan(self, event: EventDecl, steps, args) -> int:
+        """Run a compiled plan: guards skipped, costs charged verbatim.
+
+        The charge sequence below is ``cpu.charge`` inlined -- the exact
+        float additions, in the exact order, the linear scan performs --
+        so simulated time and category accounting stay bit-identical.
+        """
+        cpu = self.host.cpu
+        stack = cpu._stack
+        if not stack:
+            # No open accumulator: the linear path's first charge would
+            # raise ChargeError at the same point; let it.
+            return self.raise_event(event, *args)
+        costs = self.host.costs
+        guard_cost = costs.guard_eval
+        handler_cost = costs.dispatch_per_handler
+        times = cpu.category_times
+        event.raise_count += 1
+        self.total_raises += 1
+        matched = 0
+        for handle, ok in steps:
+            if not handle.installed:
+                continue
+            if handle.guard is not None:
+                stack[-1] += guard_cost
+                try:
+                    times["dispatch"] += guard_cost
+                except KeyError:
+                    times["dispatch"] = guard_cost
+                if not ok:
+                    handle.guard_rejections += 1
+                    continue
+            matched += 1
+            stack[-1] += handler_cost
+            try:
+                times["dispatch"] += handler_cost
+            except KeyError:
+                times["dispatch"] = handler_cost
+            if handle.mode == "thread":
+                self._delegate_to_thread(handle, args)
+                continue
+            handle.invocations += 1
+            self.total_invocations += 1
+            stack.append(0.0)
+            marker = len(stack)
+            try:
+                handle.handler(*args)
+            except Exception as exc:  # containment: may not crash kernel
+                handle.failures += 1
+                handle.last_error = exc
+            finally:
+                if marker != len(stack):
+                    raise ChargeError(
+                        "mismatched cpu.end(): marker %d but stack depth %d"
+                        % (marker, len(stack)))
+                spent = stack.pop()
+            limit = handle.time_limit
+            if limit is not None and spent > limit:
+                handle.terminations += 1
+                stack[-1] += limit
+            else:
+                stack[-1] += spent
+        return matched
+
+    def _record_plan(self, event: EventDecl, flow: FlowEntry, args) -> int:
+        """The linear scan of :meth:`raise_event`, recording verdicts.
+
+        Each (handle, matched) verdict is kept; if nothing disturbed the
+        event mid-raise the verdict list is compiled into the flow's plan
+        for this event.  A raise in which any guard threw is not cached:
+        the failure accounting must re-run per packet.
+        """
+        snapshot = event._snapshot
+        generation = event.generation
+        costs = self.host.costs
+        cpu = self.host.cpu
+        charge = cpu.charge
+        guard_cost = costs.guard_eval
+        handler_cost = costs.dispatch_per_handler
+        event.raise_count += 1
+        self.total_raises += 1
+        matched = 0
+        steps = []
+        cacheable = True
+        for handle in snapshot:
+            if not handle.installed:
+                continue
+            guard = handle.guard
+            if guard is not None:
+                charge(guard_cost, "dispatch")
+                try:
+                    if not guard(*args):
+                        handle.guard_rejections += 1
+                        steps.append((handle, False))
+                        continue
+                except Exception as exc:  # guard failure = no match, counted
+                    handle.failures += 1
+                    handle.last_error = exc
+                    cacheable = False
+                    continue
+            matched += 1
+            steps.append((handle, True))
+            charge(handler_cost, "dispatch")
+            if handle.mode == "thread":
+                self._delegate_to_thread(handle, args)
+                continue
             handle.invocations += 1
             self.total_invocations += 1
             marker = cpu.begin()
@@ -210,12 +415,12 @@ class Dispatcher:
             finally:
                 spent = cpu.end(marker)
             if handle.time_limit is not None and spent > handle.time_limit:
-                # Premature termination: only the allotment is consumed
-                # (paper sec. 3.3).
                 handle.terminations += 1
                 cpu.recharge(handle.time_limit)
             else:
                 cpu.recharge(spent)
+        if cacheable and event.generation == generation:
+            flow.plans[event] = CompiledPlan(generation, tuple(steps))
         return matched
 
     # -- delivery -------------------------------------------------------------------

@@ -1,0 +1,134 @@
+"""Compiled per-flow delivery paths (the flow cache).
+
+The paper's demultiplexing walks the Plexus protocol graph by evaluating
+every installed guard at every layer for every packet, and treats that
+guard overhead as the cost to engineer away.  Guard verdicts, however,
+are functions of the *flow* -- (ethertype, IP protocol, addresses,
+ports) -- not of the individual packet, so they can be computed once per
+flow and replayed: the first packet of a flow records which handlers
+matched at each event, and subsequent packets skip the guard calls and
+run the compiled chain directly.
+
+Replay is a pure host-side (wall-clock) optimization.  It charges the
+identical simulated ``guard_eval`` / ``dispatch_per_handler`` costs, in
+the identical order, as the linear scan would -- simulated time stays
+bit-identical whether the cache is on or off.
+
+Invalidation is by generation counter, with no global flush:
+
+* every :class:`~repro.spin.dispatcher.EventDecl` carries a
+  ``generation`` bumped on handler install/uninstall;
+* managers whose guards read live state (the TCP special/diverted port
+  sets) bump it explicitly through ``Dispatcher.invalidate_event`` when
+  that state changes;
+* a compiled plan records the generation it was built against and is
+  lazily discarded on the next raise when they disagree.
+
+Correctness contract: a guard installed on a flow-routed event must be a
+pure function of the flow key plus generation-invalidated live state.
+Every guard the protocol managers construct satisfies this by design
+(applications never supply raw guards to transport events).  Packets the
+classifier cannot reduce to a flow key -- truncated headers, IP
+fragments -- carry no flow entry and take the linear path.
+
+``REPRO_FLOW_CACHE=0`` disables the cache for the process: every raise
+then takes the linear scan.  The equivalence tests run both ways and
+assert identical delivery order, counters, and simulated time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Tuple
+
+__all__ = ["FlowCache", "FlowEntry", "CompiledPlan", "flow_cache_enabled"]
+
+
+def flow_cache_enabled() -> bool:
+    """Whether the environment enables flow caching (default: yes)."""
+    return os.environ.get("REPRO_FLOW_CACHE", "1") != "0"
+
+
+class CompiledPlan:
+    """The recorded guard verdicts of one (flow, event) pair.
+
+    ``steps`` is a tuple of ``(handle, matched)`` pairs in snapshot scan
+    order; ``generation`` is the event generation the verdicts were
+    recorded against.  A plan whose generation no longer matches the
+    event's is stale and is recompiled on the next raise.
+    """
+
+    __slots__ = ("generation", "steps")
+
+    def __init__(self, generation: int, steps: Tuple) -> None:
+        self.generation = generation
+        self.steps = steps
+
+    def __repr__(self) -> str:
+        return "<CompiledPlan gen=%d %d steps>" % (
+            self.generation, len(self.steps))
+
+
+class FlowEntry:
+    """One cached flow: its key and the per-event compiled plans.
+
+    The entry rides on ``m.pkthdr.flow`` from the link layer upward, so
+    every event raise along the delivery path shares one classification.
+    """
+
+    __slots__ = ("key", "plans")
+
+    def __init__(self, key: Tuple) -> None:
+        self.key = key
+        self.plans: Dict[object, CompiledPlan] = {}
+
+    def __repr__(self) -> str:
+        return "<FlowEntry %r (%d plans)>" % (self.key, len(self.plans))
+
+
+class FlowCache:
+    """Per-dispatcher cache mapping flow keys to compiled delivery paths."""
+
+    #: bound on distinct cached flows; exceeding it clears the cache (the
+    #: workloads here use a handful of flows -- this is a safety valve,
+    #: not a tuned eviction policy).
+    MAX_ENTRIES = 4096
+
+    def __init__(self) -> None:
+        self.enabled = flow_cache_enabled()
+        self.entries: Dict[Tuple, FlowEntry] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def entry_for(self, key: Optional[Tuple]) -> Optional[FlowEntry]:
+        """The (created-on-demand) entry for ``key``; None when disabled
+        or the packet is unclassifiable."""
+        if key is None or not self.enabled:
+            return None
+        entry = self.entries.get(key)
+        if entry is None:
+            if len(self.entries) >= self.MAX_ENTRIES:
+                self.entries.clear()
+                self.evictions += 1
+            entry = FlowEntry(key)
+            self.entries[key] = entry
+        return entry
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "enabled": self.enabled,
+            "entries": len(self.entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return "<FlowCache %d entries hits=%d misses=%d inval=%d>" % (
+            len(self.entries), self.hits, self.misses, self.invalidations)

@@ -81,12 +81,26 @@ class SpinKernel(Host):
 
         def interrupt_body() -> None:
             costs = self.costs
-            charge = self.cpu.charge
-            charge(costs.interrupt_entry, "interrupt")
+            # cpu.charge inlined (exact body, exact order): the kernel
+            # path just opened an accumulator, so the stack is non-empty.
+            cpu = self.cpu
+            stack = cpu._stack
+            times = cpu.category_times
+            amount = costs.interrupt_entry
+            stack[-1] += amount
+            try:
+                times["interrupt"] += amount
+            except KeyError:
+                times["interrupt"] = amount
             nic.driver_recv_charges(frame)
             if input_fn is not None:
                 input_fn(nic, frame.data)
-            charge(costs.interrupt_exit, "interrupt")
+            amount = costs.interrupt_exit
+            stack[-1] += amount
+            try:
+                times["interrupt"] += amount
+            except KeyError:
+                times["interrupt"] = amount
             self.interrupts_handled += 1
 
         self.spawn_kernel_path(interrupt_body, priority=INTERRUPT_PRIORITY,

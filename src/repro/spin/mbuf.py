@@ -56,12 +56,15 @@ class _Cluster:
 class PacketHeader:
     """Per-packet metadata carried by the first mbuf of a chain."""
 
-    __slots__ = ("length", "rcvif", "timestamp")
+    __slots__ = ("length", "rcvif", "timestamp", "flow")
 
     def __init__(self, length: int = 0, rcvif=None, timestamp: Optional[float] = None):
         self.length = length
         self.rcvif = rcvif
         self.timestamp = timestamp
+        #: the packet's FlowEntry (set by the link layer on receive);
+        #: carries the compiled delivery path from link to application.
+        self.flow = None
 
 
 class Mbuf:
@@ -114,11 +117,14 @@ class Mbuf:
             storage = bytearray(MLEN)
             storage[leading_space:leading_space + n] = data
             return cls(storage, leading_space, n, PacketHeader(n, rcvif))
-        data = bytes(data)
+        total = len(data)
+        # A memoryview source makes each slice assignment below a direct
+        # memcpy instead of materializing an intermediate bytes object.
+        view = memoryview(data)
         head: Optional[Mbuf] = None
         tail: Optional[Mbuf] = None
         offset = 0
-        remaining = len(data)
+        remaining = total
         first = True
         while True:
             space = leading_space if first else 0
@@ -128,7 +134,7 @@ class Mbuf:
                 m = cls.get_cluster(leading_space=space, pkthdr=first)
             room = len(m._storage) - m.off
             take = min(room, remaining)
-            m._storage[m.off:m.off + take] = data[offset:offset + take]
+            m._storage[m.off:m.off + take] = view[offset:offset + take]
             m.len = take
             offset += take
             remaining -= take
@@ -190,8 +196,14 @@ class Mbuf:
         """Linearized copy of the whole chain (a copy, always allowed)."""
         if self.next is None:
             return bytes(memoryview(self._storage)[self.off:self.off + self.len])
-        return b"".join(bytes(memoryview(m._storage)[m.off:m.off + m.len])
-                        for m in self.chain())
+        # bytes.join accepts buffer objects directly: one memcpy per mbuf
+        # into the result, no intermediate per-mbuf bytes.
+        pieces = []
+        m: Optional["Mbuf"] = self
+        while m is not None:
+            pieces.append(memoryview(m._storage)[m.off:m.off + m.len])
+            m = m.next
+        return b"".join(pieces)
 
     # -- mutation ----------------------------------------------------------------
 
@@ -379,7 +391,22 @@ class MbufPool:
         while m is not None:
             count += 1
             m = m.next
-        self.host.cpu.charge(count * self.host.costs.mbuf_alloc, "mbuf")
+        # cpu.charge inlined (exact body, exact order): every packet
+        # allocates at least one mbuf on both the send and receive path.
+        cpu = self.host.cpu
+        stack = cpu._stack
+        if not stack:
+            from ..hw.cpu import ChargeError
+            raise ChargeError(
+                "cpu.charge() outside begin()/end(); protocol code must run "
+                "under a kernel execution context")
+        amount = count * self.host.costs.mbuf_alloc
+        stack[-1] += amount
+        times = cpu.category_times
+        try:
+            times["mbuf"] += amount
+        except KeyError:
+            times["mbuf"] = amount
         self.allocated += count
         return chain
 

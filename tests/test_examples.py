@@ -7,7 +7,6 @@ stdout captured, and its headline output is sanity-checked.
 import importlib.util
 import io
 import pathlib
-import sys
 from contextlib import redirect_stdout
 
 import pytest

@@ -1,0 +1,133 @@
+"""Property test: flow-cached dispatch is equivalent to the linear scan.
+
+The flow cache's contract (``repro.spin.flowcache``) is that replaying a
+compiled plan is *observably identical* to re-scanning every guard: the
+same handlers run in the same order, the same statistics move, and the
+same simulated costs are charged in the same order.  This drives random
+interleavings of handler installs, uninstalls, and packet sends through
+two kernels in lockstep -- one raising along :class:`FlowEntry` objects
+(cache on), one using the plain linear ``raise_event`` -- and asserts
+the observable state never diverges.
+
+Guards here are pure functions of the flow key, which is exactly the
+correctness contract the protocol managers uphold.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Engine
+from repro.spin import SpinKernel
+from repro.spin.flowcache import FlowEntry
+
+# Pure functions of the flow key: the only guards a flow-routed event
+# may carry (see the flowcache module docstring).
+GUARDS = [
+    None,
+    lambda key: key % 2 == 0,
+    lambda key: key < 2,
+    lambda key: key != 1,
+    lambda key: True,
+]
+
+KEYS = (0, 1, 2, 3)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("install"), st.integers(0, len(GUARDS) - 1)),
+        st.tuples(st.just("uninstall"), st.integers(0, 7)),
+        st.tuples(st.just("send"), st.integers(0, len(KEYS) - 1)),
+    ),
+    min_size=1, max_size=40)
+
+
+class _Side:
+    """One kernel driven through the op sequence (cached or linear)."""
+
+    def __init__(self, cached: bool):
+        self.engine = Engine()
+        self.kernel = SpinKernel(self.engine, "prop-kernel")
+        self.dispatcher = self.kernel.dispatcher
+        self.event = self.dispatcher.declare("Prop.Packet")
+        self.cached = cached
+        # Constructed directly so the property holds regardless of the
+        # process-wide REPRO_FLOW_CACHE escape hatch.
+        self.flows = {key: FlowEntry((key,)) for key in KEYS}
+        self.handles = []
+        self.log = []
+
+    def _run(self, fn):
+        self.engine.run_process(self.kernel.kernel_path(fn), name="prop-op")
+        self.engine.run()
+
+    def apply(self, op, arg):
+        if op == "install":
+            self._install(arg)
+        elif op == "uninstall":
+            self._uninstall(arg)
+        else:
+            self._send(arg)
+
+    def _install(self, guard_idx):
+        slot = len(self.handles)
+
+        def handler(key, _slot=slot):
+            self.log.append((_slot, key))
+
+        def do():
+            self.handles.append(self.dispatcher.install(
+                self.event, handler, guard=GUARDS[guard_idx],
+                label="h%d" % slot))
+        self._run(do)
+
+    def _uninstall(self, pick):
+        installed = [h for h in self.handles if h.installed]
+        if not installed:
+            return  # no-op applied identically on both sides
+        self._run(installed[pick % len(installed)].uninstall)
+
+    def _send(self, key_idx):
+        key = KEYS[key_idx]
+        if self.cached:
+            flow = self.flows[key]
+            self._run(lambda: self.dispatcher.raise_flow(
+                self.event, flow, key))
+        else:
+            self._run(lambda: self.dispatcher.raise_event(self.event, key))
+
+
+class TestFlowCacheEquivalence:
+    @given(_ops)
+    @settings(max_examples=15, deadline=None)
+    def test_cached_equals_linear(self, ops):
+        cached, linear = _Side(cached=True), _Side(cached=False)
+        for op, arg in ops:
+            cached.apply(op, arg)
+            linear.apply(op, arg)
+
+        # Identical delivery: same handlers, same packets, same order.
+        assert cached.log == linear.log
+        # Bit-identical simulated time and cost accounting.
+        assert cached.engine.now == linear.engine.now
+        assert (dict(cached.kernel.cpu.category_times)
+                == dict(linear.kernel.cpu.category_times))
+        # Identical per-handle statistics.
+        assert len(cached.handles) == len(linear.handles)
+        for ch, lh in zip(cached.handles, linear.handles):
+            assert ch.installed == lh.installed
+            assert ch.invocations == lh.invocations
+            assert ch.guard_rejections == lh.guard_rejections
+        assert (cached.dispatcher.total_invocations
+                == linear.dispatcher.total_invocations)
+        assert cached.dispatcher.total_raises == linear.dispatcher.total_raises
+
+    @given(_ops)
+    @settings(max_examples=10, deadline=None)
+    def test_plans_replay_after_warmup(self, ops):
+        """Sending the same flow twice in a row replays its plan."""
+        side = _Side(cached=True)
+        for op, arg in ops:
+            side.apply(op, arg)
+        side.apply("send", 0)  # records (or replays) flow 0's plan
+        before = side.dispatcher.flow_cache.hits
+        side.apply("send", 0)  # now the plan exists and is fresh: replay
+        assert side.dispatcher.flow_cache.hits == before + 1

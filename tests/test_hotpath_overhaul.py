@@ -21,7 +21,7 @@ import tracemalloc
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.lang import VIEW, Layout, UINT16, UINT32, UINT16_LE
+from repro.lang import VIEW, Layout, UINT16, UINT16_LE
 from repro.lang.readonly import ReadOnlyBuffer
 from repro.lang.view import raw_storage
 from repro.net.checksum import (
