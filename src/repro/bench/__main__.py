@@ -10,6 +10,10 @@ Usage::
                                       # (writes BENCH_wallclock.json;
                                       #  combine with --full for the
                                       #  committed scales)
+    python -m repro.bench --jobs 4    # shard the independent experiments
+                                      # across 4 worker processes; output
+                                      # is byte-identical to --jobs 1
+                                      # (also applies to --wallclock)
 """
 
 import sys
@@ -17,9 +21,23 @@ import sys
 from .report import run_everything
 
 
-def _wallclock(quick: bool) -> int:
+def _jobs(argv) -> int:
+    """Parse ``--jobs N`` (default 1: serial, in-process)."""
+    if "--jobs" not in argv:
+        return 1
+    index = argv.index("--jobs")
+    try:
+        jobs = int(argv[index + 1])
+    except (IndexError, ValueError):
+        raise SystemExit("--jobs requires an integer argument")
+    if jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    return jobs
+
+
+def _wallclock(quick: bool, jobs: int = 1) -> int:
     from .wallclock import run_suite, write_report
-    suite = run_suite(quick=quick, repeats=3)
+    suite = run_suite(quick=quick, repeats=3, jobs=jobs)
     path = write_report(suite)
     failed = False
     for name in sorted(suite["workloads"]):
@@ -62,11 +80,13 @@ def _charts() -> str:
 
 
 def main(argv) -> int:
+    argv = list(argv)
+    jobs = _jobs(argv)
     if "--charts" in argv:
         print(_charts())
         return 0
     if "--wallclock" in argv:
-        return _wallclock(quick="--full" not in argv)
+        return _wallclock(quick="--full" not in argv, jobs=jobs)
     if "--check" in argv:
         from .regression import check_all, wallclock_smoke
         from .report import format_table
@@ -83,7 +103,7 @@ def main(argv) -> int:
     quick = "--full" not in argv
     print("Regenerating every table and figure from the paper "
           "(%s pass)...\n" % ("quick" if quick else "full"))
-    print(run_everything(quick=quick))
+    print(run_everything(quick=quick, jobs=jobs))
     return 0
 
 

@@ -3,13 +3,19 @@
 ``format_table`` renders rows the way the paper's tables/figures read;
 ``run_everything`` regenerates every experiment and returns the full
 report text (EXPERIMENTS.md is produced from it).
+
+Each experiment lives in its own named section function so the report is
+a pure merge of independent tasks: ``SECTIONS`` is the single source of
+truth for what runs and in what order, and ``repro.bench.runner`` shards
+the same list across worker processes (``--jobs N``) with a merge that
+is byte-identical to the serial text.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-__all__ = ["format_table", "run_everything"]
+__all__ = ["format_table", "run_everything", "SECTIONS"]
 
 
 def format_table(rows: Sequence[Dict], columns: Sequence[str],
@@ -42,84 +48,175 @@ def format_table(rows: Sequence[Dict], columns: Sequence[str],
     return "\n".join(lines)
 
 
-def run_everything(quick: bool = True) -> str:
-    """Regenerate every table and figure; returns the report text."""
-    from . import ablations, forwarding, latency, micro, throughput, video
+# ---------------------------------------------------------------------------
+# section tasks
+#
+# Each takes only ``quick`` and returns its rendered text.  They must stay
+# independent (fresh engines, no shared mutable state) and module-level
+# (pickled by name into worker processes).
+# ---------------------------------------------------------------------------
 
-    trips = 5 if quick else 20
-    sections: List[str] = []
+def _trips(quick: bool) -> int:
+    return 5 if quick else 20
 
-    rows = latency.figure5(trips=trips)
-    sections.append(format_table(
+
+def _section_figure5(quick: bool) -> str:
+    from . import latency
+    rows = latency.figure5(trips=_trips(quick))
+    return format_table(
         rows, ["device", "system", "rtt_us", "paper_us"],
-        title="Figure 5: UDP round-trip latency (8-byte payloads)"))
+        title="Figure 5: UDP round-trip latency (8-byte payloads)")
 
+
+def _section_throughput(quick: bool) -> str:
+    from . import throughput
     rows = throughput.section42(total_bytes=300_000 if quick else 1_000_000)
-    sections.append(format_table(
+    return format_table(
         rows, ["device", "system", "mbps", "paper_mbps"],
-        title="Section 4.2: TCP throughput"))
+        title="Section 4.2: TCP throughput")
 
-    counts = (1, 5, 10, 15, 20) if quick else (1, 3, 5, 8, 10, 12, 15, 18, 21, 25, 30)
+
+def _section_figure6(quick: bool) -> str:
+    from . import video
+    counts = ((1, 5, 10, 15, 20) if quick
+              else (1, 3, 5, 8, 10, 12, 15, 18, 21, 25, 30))
     rows = video.figure6(stream_counts=counts,
                          duration_s=0.3 if quick else 0.6)
     for row in rows:
         row["utilization_pct"] = row["utilization"] * 100
-    sections.append(format_table(
+    return format_table(
         rows, ["os", "streams", "utilization_pct", "delivered_mbps"],
-        title="Figure 6: video server CPU utilization vs streams (T3)"))
+        title="Figure 6: video server CPU utilization vs streams (T3)")
 
+
+def _section_video_client(quick: bool) -> str:
+    from . import video
     client_rows = [video.measure_video_client(os_name, 0.3 if quick else 0.8)
                    for os_name in ("spin", "unix")]
     for row in client_rows:
         row["utilization_pct"] = row["utilization"] * 100
         row["display_pct"] = row["display_fraction"] * 100
-    sections.append(format_table(
+    return format_table(
         client_rows, ["os", "utilization_pct", "display_pct"],
-        title="Section 5.1: video client (framebuffer-dominated)"))
+        title="Section 5.1: video client (framebuffer-dominated)")
 
-    fwd_rows = forwarding.figure7(trips=trips)
+
+def _section_figure7(quick: bool) -> str:
+    from . import forwarding
+    fwd_rows = forwarding.figure7(trips=_trips(quick))
     for row in fwd_rows:
         row["rtt_us"] = row["rtt"].mean
-    sections.append(format_table(
+    return format_table(
         fwd_rows, ["system", "rtt_us", "connect_us", "end_to_end"],
-        title="Figure 7: TCP redirection latency"))
+        title="Figure 7: TCP redirection latency")
 
+
+def _section_dispatcher_micro(quick: bool) -> str:
+    from . import micro
     disp = micro.dispatcher_overhead_per_handler()
-    sections.append(format_table(
+    return format_table(
         [disp], ["per_handler_us", "procedure_call_us",
                  "ratio_to_procedure_call"],
-        title="Micro: dispatcher overhead (paper: ~1 procedure call)"))
+        title="Micro: dispatcher overhead (paper: ~1 procedure call)")
 
-    sections.append(format_table(
+
+def _section_guard_demux(quick: bool) -> str:
+    from . import micro
+    return format_table(
         micro.guard_demux_cost(), ["extensions", "demux_us"],
-        title="Micro: guard demultiplexing scaling"))
+        title="Micro: guard demultiplexing scaling")
 
+
+def _section_http(quick: bool) -> str:
     from . import http_bench
     http_rows = http_bench.http_comparison(requests=4 if quick else 10)
-    sections.append(format_table(
+    return format_table(
         http_rows, ["page", "system", "latency_us"],
-        title="HTTP service latency (the paper's closing demo)"))
+        title="HTTP service latency (the paper's closing demo)")
 
-    scaling = http_bench.cpu_scaling_sweep(trips=trips)
-    sections.append(format_table(
+
+def _section_cpu_scaling(quick: bool) -> str:
+    from . import http_bench
+    scaling = http_bench.cpu_scaling_sweep(trips=_trips(quick))
+    return format_table(
         scaling, ["cpu_factor", "plexus_us", "unix_us", "gap_us"],
-        title="Sensitivity: Figure 5 Ethernet headline vs CPU speed"))
+        title="Sensitivity: Figure 5 Ethernet headline vs CPU speed")
 
-    abl = [
-        {"ablation": "udp-checksum", **ablations.checksum_ablation(trips=trips)},
-        {"ablation": "delivery-mode", **ablations.delivery_mode_ablation(trips=trips)},
-        {"ablation": "view-vs-copy", **ablations.view_vs_copy_ablation()},
-        {"ablation": "active-messages", **ablations.active_message_rtt(trips=trips)},
-        {"ablation": "ack-strategy", **ablations.ack_strategy_ablation(
-            total_bytes=200_000 if quick else 400_000)},
-    ]
-    for row in abl:
-        sections.append(format_table(
-            [row], list(row.keys()), title="Ablation: %s" % row["ablation"]))
 
-    sections.append(format_table(
+def _ablation_section(row: Dict) -> str:
+    return format_table(
+        [row], list(row.keys()), title="Ablation: %s" % row["ablation"])
+
+
+def _section_ablation_checksum(quick: bool) -> str:
+    from . import ablations
+    return _ablation_section(
+        {"ablation": "udp-checksum",
+         **ablations.checksum_ablation(trips=_trips(quick))})
+
+
+def _section_ablation_delivery(quick: bool) -> str:
+    from . import ablations
+    return _ablation_section(
+        {"ablation": "delivery-mode",
+         **ablations.delivery_mode_ablation(trips=_trips(quick))})
+
+
+def _section_ablation_view(quick: bool) -> str:
+    from . import ablations
+    return _ablation_section(
+        {"ablation": "view-vs-copy", **ablations.view_vs_copy_ablation()})
+
+
+def _section_ablation_active_messages(quick: bool) -> str:
+    from . import ablations
+    return _ablation_section(
+        {"ablation": "active-messages",
+         **ablations.active_message_rtt(trips=_trips(quick))})
+
+
+def _section_ablation_ack(quick: bool) -> str:
+    from . import ablations
+    return _ablation_section(
+        {"ablation": "ack-strategy",
+         **ablations.ack_strategy_ablation(
+             total_bytes=200_000 if quick else 400_000)})
+
+
+def _section_rx_ring(quick: bool) -> str:
+    from . import ablations
+    return format_table(
         ablations.rx_ring_ablation(frames=80 if quick else 120),
         ["ring_length", "delivered", "dropped", "loss_pct"],
-        title="Ablation: receive-ring depth under burst (ATM)"))
+        title="Ablation: receive-ring depth under burst (ATM)")
 
-    return "\n\n".join(sections)
+
+#: (name, task) in report order -- the single source of truth for both the
+#: serial report and the sharded one (``repro.bench.runner``).
+SECTIONS = (
+    ("figure5", _section_figure5),
+    ("throughput", _section_throughput),
+    ("figure6", _section_figure6),
+    ("video_client", _section_video_client),
+    ("figure7", _section_figure7),
+    ("dispatcher_micro", _section_dispatcher_micro),
+    ("guard_demux", _section_guard_demux),
+    ("http", _section_http),
+    ("cpu_scaling", _section_cpu_scaling),
+    ("ablation_udp_checksum", _section_ablation_checksum),
+    ("ablation_delivery_mode", _section_ablation_delivery),
+    ("ablation_view_vs_copy", _section_ablation_view),
+    ("ablation_active_messages", _section_ablation_active_messages),
+    ("ablation_ack_strategy", _section_ablation_ack),
+    ("rx_ring", _section_rx_ring),
+)
+
+
+def run_everything(quick: bool = True, jobs: int = 1) -> str:
+    """Regenerate every table and figure; returns the report text.
+
+    ``jobs > 1`` shards the sections across worker processes; the merged
+    text is byte-identical to the serial run.
+    """
+    from .runner import run_report
+    return run_report(quick=quick, jobs=jobs)

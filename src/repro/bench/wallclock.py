@@ -54,9 +54,15 @@ __all__ = [
     "BASELINE_PATH",
 ]
 
-#: Schema 2 adds the per-workload ``flow_cache`` section (hit/miss/
+#: Schema 2 added the per-workload ``flow_cache`` section (hit/miss/
 #: invalidation/eviction counters of the compiled delivery paths).
-REPORT_SCHEMA_VERSION = 2
+#: Schema 3 adds the ``many_flows`` scale-out workload (its records carry
+#: ``per_flow_kb`` and no ``flow_cache`` section -- the UNIX model has no
+#: dispatcher).  The report deliberately records nothing about *how* it
+#: was produced beyond ``generated_by``: a parallel run
+#: (``repro.bench.runner``, ``--jobs N``) must emit the byte-identical
+#: file a serial run does.
+REPORT_SCHEMA_VERSION = 3
 REPORT_FILENAME = "BENCH_wallclock.json"
 
 #: repo-root and committed-baseline locations, resolved relative to this file
@@ -272,12 +278,165 @@ def _tcp_bulk(scale: int) -> Dict:
     }
 
 
+def _rss_kb() -> int:
+    """Peak resident set size in KB (0 where unavailable)."""
+    try:
+        import resource
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, AttributeError, OSError):
+        return 0
+
+
+def _many_flows(scale: int) -> Dict:
+    """Scale-out: ``scale`` concurrent client flows against one server.
+
+    One UNIX-model server plays a small HTTP/video origin on a 155 Mb/s
+    ATM testbed: a TCP listener that pushes a fixed object at every
+    accepted connection, and a UDP port that answers every datagram with
+    a fixed reply.  ``scale`` client flows (half TCP, half UDP) open at a
+    fixed stagger from a second host, so thousands of connections are in
+    flight at once.  The server multiplexes everything through one
+    :class:`~repro.unixos.sockets.Poller` in kqueue style -- per-event
+    work, not per-registered-socket scans -- which, with the timer wheel
+    (per-connection retransmit/delayed-ack/TIME_WAIT timers) and the O(1)
+    port allocators, is exactly the machinery this workload stresses.
+
+    Clients deliberately send no TCP request bytes: a segment arriving
+    before the server accepts would be consumed by the kernel TCB with no
+    reader attached.  Connecting *is* the request (HTTP/0.9 push style).
+    """
+    from ..sim import Signal
+    from ..unixos.sockets import Poller
+    from .testbed import build_testbed
+
+    n_tcp = scale // 2
+    n_udp = scale - n_tcp
+    tcp_object = bytes(512)     # the pushed "page"
+    udp_request = bytes(16)     # a "frame please" control datagram
+    udp_reply = bytes(128)
+    stagger_us = 15.0
+    tcp_port, udp_port = 80, 5004
+
+    bed = build_testbed("unix", "atm", deliver_mode="interrupt")
+    engine = bed.engine
+    client_host, server_host = bed.hosts[0], bed.hosts[1]
+    client_sockets, server_sockets = bed.sockets[0], bed.sockets[1]
+    server_ip = bed.ip(1)
+
+    state = {"tcp_done": 0, "udp_done": 0, "bytes_in": 0, "served": 0,
+             "peak_conns": 0, "peak_watched": 0}
+    server_ready = Signal(engine)
+    all_done = Signal(engine)
+
+    def client_finished() -> None:
+        if state["tcp_done"] + state["udp_done"] == scale:
+            all_done.fire()
+
+    def tcp_client(index: int):
+        yield engine.pooled_timeout(index * stagger_us)
+        sock = client_sockets.tcp_socket()
+        yield from sock.connect((server_ip, tcp_port))
+        received = 0
+        while True:
+            data = yield from sock.recv()
+            if not data:
+                break
+            received += len(data)
+        yield from sock.close()
+        state["tcp_done"] += 1
+        state["bytes_in"] += received
+        client_finished()
+
+    def udp_client(index: int):
+        yield engine.pooled_timeout(index * stagger_us)
+        sock = client_sockets.udp_socket()
+        yield from sock.bind()
+        yield from sock.sendto(udp_request, (server_ip, udp_port))
+        data, _addr = yield from sock.recvfrom()
+        sock.close()
+        state["udp_done"] += 1
+        state["bytes_in"] += len(data)
+        client_finished()
+
+    def server():
+        listener = server_sockets.tcp_socket()
+        yield from listener.listen(tcp_port, backlog=scale)
+        udp = server_sockets.udp_socket()
+        yield from udp.bind(udp_port)
+        poller = Poller(server_host)
+        poller.register(listener)
+        poller.register(udp)
+        server_ready.fire()
+        connections = server_sockets.stack.tcp.connections
+        while state["served"] < scale:
+            ready = yield from poller.wait()
+            state["peak_conns"] = max(state["peak_conns"], len(connections))
+            state["peak_watched"] = max(state["peak_watched"],
+                                        len(poller._watched))
+            for sock in ready:
+                if sock is listener:
+                    while sock.accept_queue:
+                        child = yield from listener.accept()
+                        yield from child.send(tcp_object)
+                        yield from child.close()
+                        # Keep watching until the peer's FIN lands, so the
+                        # poller tracks every in-flight connection.
+                        poller.register(child)
+                        state["served"] += 1
+                elif sock is udp:
+                    while sock.buffer.items:
+                        _data, addr = yield from udp.recvfrom()
+                        yield from udp.sendto(udp_reply, addr)
+                        state["served"] += 1
+                else:  # a pushed child reached EOF: reap it
+                    poller.unregister(sock)
+
+    def main():
+        engine.process(server(), name="mf-server")
+        yield server_ready.wait()
+        for index in range(n_tcp):
+            engine.process(tcp_client(index), name="mf-tcp-%d" % index)
+        for index in range(n_udp):
+            engine.process(udp_client(n_tcp + index), name="mf-udp-%d" % index)
+        yield all_done.wait()
+
+    rss_before_kb = _rss_kb()
+    wall0 = time.perf_counter()
+    engine.run_process(main(), name="wallclock-many-flows")
+    wall = time.perf_counter() - wall0
+    rss_grew_kb = max(0, _rss_kb() - rss_before_kb)
+
+    events = engine.events_processed
+    packets = state["served"] * 2  # at least one frame each way per flow
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "packets": packets,
+        "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        # Host-side: peak-RSS growth across the run amortized per flow.
+        # Best effort (0 when an earlier workload already set the peak);
+        # never part of the fingerprint.
+        "per_flow_kb": rss_grew_kb / scale,
+        "fingerprint": {
+            "flows": scale,
+            "tcp_done": state["tcp_done"],
+            "udp_done": state["udp_done"],
+            "bytes_in": state["bytes_in"],
+            "peak_conns": state["peak_conns"],
+            "peak_watched": state["peak_watched"],
+            "final_now_us": engine.now,
+        },
+    }
+
+
 #: name -> (workload fn, quick scale, full scale).  Scales are part of the
 #: fingerprint contract: changing them changes the expected fingerprints.
 WORKLOADS: Dict[str, tuple] = {
     "dispatcher_micro": (_dispatcher_micro, 2_000, 20_000),
     "udp_pingpong": (_udp_pingpong, 60, 400),
     "tcp_bulk": (_tcp_bulk, 100_000, 400_000),
+    "many_flows": (_many_flows, 2_000, 6_000),
 }
 
 
@@ -322,11 +481,17 @@ def run_workload(name: str, quick: bool = False,
 
 
 def run_suite(quick: bool = False, repeats: int = 1,
-              names=None) -> Dict:
-    """Run every workload; returns the full report dict."""
-    workloads = {}
-    for name in (names or sorted(WORKLOADS)):
-        workloads[name] = run_workload(name, quick=quick, repeats=repeats)
+              names=None, jobs: int = 1) -> Dict:
+    """Run every workload; returns the full report dict.
+
+    ``jobs > 1`` shards the workloads across worker processes (see
+    ``repro.bench.runner``); fingerprints -- and therefore the pass/fail
+    outcome -- are identical for any jobs count.
+    """
+    from .runner import run_wallclock_workloads
+    workloads = run_wallclock_workloads(
+        list(names or sorted(WORKLOADS)), quick=quick, repeats=repeats,
+        jobs=jobs)
     report = {
         "schema_version": REPORT_SCHEMA_VERSION,
         "generated_by": "python -m repro.bench --wallclock",

@@ -29,7 +29,19 @@ __all__ = ["Host", "Timer"]
 
 
 class Timer:
-    """A cancellable kernel timer; fires ``fn(*args)`` as a kernel path."""
+    """A cancellable kernel timer; fires ``fn(*args)`` as a kernel path.
+
+    Deadlines park on the engine's timer wheel: arming is O(1) (no heap
+    sift, no waiting process) and :meth:`cancel` is O(1) with the carcass
+    dropped wholesale when its wheel bucket comes up -- the heap never
+    sees cancelled timers.  A timer that *does* fire starts its kernel
+    path inside the spilled wheel event, at the exact
+    ``(time, priority, sequence)`` the old heap-resident timeout carried,
+    so simulated timestamps are bit-identical to heap scheduling.
+    """
+
+    __slots__ = ("host", "fn", "args", "priority", "name", "cancelled",
+                 "fired", "expires_at", "_handle")
 
     def __init__(self, host: "Host", delay_us: float, fn: Callable,
                  args: Tuple = (), priority: int = THREAD_PRIORITY,
@@ -38,20 +50,25 @@ class Timer:
         self.fn = fn
         self.args = args
         self.priority = priority
+        self.name = name
         self.cancelled = False
         self.fired = False
         self.expires_at = host.engine.now + delay_us
-        self._process = host.engine.process(self._wait(delay_us), name=name)
+        self._handle = host.engine.wheel.schedule(delay_us, self._fire)
 
-    def _wait(self, delay_us: float) -> Generator:
-        yield self.host.engine.timeout(delay_us)
+    def _fire(self, _event) -> None:
         if self.cancelled:
             return
         self.fired = True
-        yield from self.host.kernel_path(self.fn, self.args, self.priority)
+        host = self.host
+        Process(host.engine,
+                host.kernel_path(self.fn, self.args, self.priority),
+                name=self.name, immediate=True)
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self._handle.cancel()
 
 
 class Host:

@@ -66,6 +66,11 @@ class TcpProto:
         self.default_mss = max(512, ip.lower.mtu - 40)
         self.connections: Dict[ConnKey, Tcb] = {}
         self.listeners: Dict[int, TcpListener] = {}
+        #: local port -> number of live connections bound to it.  Kept in
+        #: lockstep with ``connections`` so ephemeral-port allocation is a
+        #: dict probe instead of a scan over every 4-tuple -- the scan is
+        #: O(flows) per connect and quadratic across a many-flow ramp-up.
+        self._lport_refs: Dict[int, int] = {}
         self._iss = 1000
         self._next_ephemeral = self.EPHEMERAL_BASE
         self.segments_in = 0
@@ -86,10 +91,14 @@ class TcpProto:
             self._next_ephemeral += 1
             if self._next_ephemeral > 0xFFFF:
                 self._next_ephemeral = self.EPHEMERAL_BASE
-            if port not in self.listeners and not any(
-                    key[1] == port for key in self.connections):
+            if port not in self.listeners and port not in self._lport_refs:
                 return port
         raise RuntimeError("out of ephemeral ports")
+
+    def _register(self, key: ConnKey, tcb: Tcb) -> None:
+        self.connections[key] = tcb
+        refs = self._lport_refs
+        refs[key[1]] = refs.get(key[1], 0) + 1
 
     def connect(self, raddr: int, rport: int,
                 lport: Optional[int] = None) -> Tcb:
@@ -99,7 +108,7 @@ class TcpProto:
         if key in self.connections:
             raise RuntimeError("connection %r already exists" % (key,))
         tcb = Tcb(self, self.ip.my_ip, lport, raddr, rport)
-        self.connections[key] = tcb
+        self._register(key, tcb)
         tcb.connect()
         return tcb
 
@@ -112,7 +121,14 @@ class TcpProto:
         return listener
 
     def forget(self, tcb: Tcb) -> None:
-        self.connections.pop((tcb.laddr, tcb.lport, tcb.raddr, tcb.rport), None)
+        key = (tcb.laddr, tcb.lport, tcb.raddr, tcb.rport)
+        if self.connections.pop(key, None) is not None:
+            refs = self._lport_refs
+            remaining = refs.get(key[1], 0) - 1
+            if remaining > 0:
+                refs[key[1]] = remaining
+            else:
+                refs.pop(key[1], None)
 
     # -- segment emission --------------------------------------------------------
 
@@ -269,7 +285,7 @@ class TcpProto:
             if listener.pending >= listener.backlog:
                 return  # silently drop: SYN will be retransmitted
             child = Tcb(self, dst_ip, dst_port, src_ip, src_port, passive=True)
-            self.connections[key] = child
+            self._register(key, child)
             listener.pending += 1
             child.on_established = (
                 lambda lst=listener, c=child: lst._child_established(c))

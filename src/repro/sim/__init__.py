@@ -17,6 +17,7 @@ from .engine import (
     Timeout,
 )
 from .resources import Resource, ResourceRequest, Signal, Store
+from .timers import TimerHandle, TimerWheel
 
 __all__ = [
     "AllOf",
@@ -31,4 +32,6 @@ __all__ = [
     "SimulationError",
     "Store",
     "Timeout",
+    "TimerHandle",
+    "TimerWheel",
 ]

@@ -66,6 +66,17 @@ _TRIGGERED = 1  # scheduled on the heap, not yet processed
 _PROCESSED = 2
 
 
+class _Bootstrap:
+    """The null trigger handed to a Process started with ``immediate``."""
+
+    __slots__ = ()
+    _value = None
+    _exception = None
+
+
+_BOOTSTRAP = _Bootstrap()
+
+
 class Event:
     """A one-shot occurrence on the simulation timeline.
 
@@ -188,7 +199,8 @@ class Process(Event):
 
     __slots__ = ("_generator", "name", "_waiting_on")
 
-    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+    def __init__(self, engine: "Engine", generator: Generator, name: str = "",
+                 immediate: bool = False):
         # Event.__init__, inlined: one process is spawned per kernel path.
         self.engine = engine
         self.callbacks = []
@@ -202,8 +214,16 @@ class Process(Event):
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         self._waiting_on: Optional[Event] = None
-        # Bootstrap: resume the generator as soon as the engine runs.
-        engine._poke(self._resume)
+        if immediate:
+            # Run the generator to its first yield right now.  Only valid
+            # from inside event processing (a callback): timer-wheel fires
+            # use it so the fired body starts in the very event that was
+            # the old implementation's heap timeout -- same tick, same
+            # relative order, one fewer bootstrap hop.
+            self._resume(_BOOTSTRAP)
+        else:
+            # Bootstrap: resume the generator as soon as the engine runs.
+            engine._poke(self._resume)
 
     @property
     def is_alive(self) -> bool:
@@ -351,7 +371,24 @@ class Engine:
         self._sequence = 0
         self._active_process: Optional[Process] = None
         self._pool: List[_PooledEvent] = []
+        self._wheel = None  # lazily-created TimerWheel (see .wheel)
         self.events_processed = 0
+
+    @property
+    def wheel(self):
+        """The engine's hierarchical timer wheel, created on first use.
+
+        Deadlines parked here (kernel timers: retransmit, delayed ACK,
+        persist, keepalive, TIME_WAIT) schedule and cancel in O(1) and
+        cascade lazily into the main heap with the exact
+        ``(time, priority, sequence)`` tuple they claimed at schedule
+        time, so execution order is bit-identical to heap scheduling.
+        """
+        wheel = self._wheel
+        if wheel is None:
+            from .timers import TimerWheel
+            wheel = self._wheel = TimerWheel(self)
+        return wheel
 
     # -- factory helpers -------------------------------------------------
 
@@ -442,6 +479,18 @@ class Engine:
         """Process the single next event, advancing the clock."""
         queue = self._now_queue
         heap = self._heap
+        wheel = self._wheel
+        if wheel is not None and wheel._live:
+            # A parked deadline could precede the heap/queue candidate:
+            # spill everything due by then so the heap merge sees it.
+            if queue:
+                if wheel._next_due <= self.now:
+                    wheel._spill(self.now)
+            elif heap:
+                if wheel._next_due <= heap[0][0]:
+                    wheel._spill(heap[0][0])
+            else:
+                wheel._spill_next()
         from_heap = True
         if queue:
             # Queue entries sit at (self.now, 0, seq); the heap head runs
@@ -497,7 +546,8 @@ class Engine:
             raise ValueError("cannot run until %r; clock is already at %r" % (until, self.now))
         step = self.step
         if until is None:
-            while self._heap or self._now_queue:
+            while self._heap or self._now_queue or (
+                    self._wheel is not None and self._wheel._live):
                 step()
             return
         while True:
@@ -505,6 +555,11 @@ class Engine:
                 # Queue entries fire at self.now, which never exceeds until.
                 step()
                 continue
+            wheel = self._wheel
+            if wheel is not None and wheel._live and wheel._next_due <= until:
+                # Park-to-heap everything that could fire inside the
+                # window; afterwards _next_due is strictly beyond it.
+                wheel._spill(until)
             heap = self._heap
             if not heap:
                 break
@@ -526,7 +581,8 @@ class Engine:
         heap = self._heap
         queue = self._now_queue
         while process._state == _PENDING:
-            if not heap and not queue:
+            if not heap and not queue and not (
+                    self._wheel is not None and self._wheel._live):
                 raise SimulationError(
                     "deadlock: process %r is waiting but no events are pending"
                     % process.name
@@ -536,4 +592,7 @@ class Engine:
         return process.value
 
     def pending_count(self) -> int:
-        return len(self._heap) + len(self._now_queue)
+        count = len(self._heap) + len(self._now_queue)
+        if self._wheel is not None:
+            count += self._wheel._live
+        return count

@@ -199,11 +199,16 @@ class Signal:
 
     Each call to :meth:`wait` returns a fresh one-shot event; :meth:`fire`
     resumes every waiter outstanding at that moment with the fired value.
+    Persistent observers can :meth:`subscribe` instead: a subscriber runs
+    synchronously inside *every* fire until unsubscribed, which is what
+    lets a ``Poller`` watch thousands of sockets without re-arming a
+    waiter per socket per wakeup.
     """
 
     def __init__(self, engine: Engine):
         self.engine = engine
         self._waiters: List[Event] = []
+        self._subscribers: List[Any] = []
         self.fire_count = 0
 
     def wait(self) -> Event:
@@ -211,12 +216,27 @@ class Signal:
         self._waiters.append(evt)
         return evt
 
+    def subscribe(self, callback) -> None:
+        """Run ``callback(value)`` inside every future :meth:`fire`.
+
+        Callbacks run in the firing context (for socket signals: the
+        sender's kernel path), so they may charge CPU costs there.  They
+        must not subscribe/unsubscribe on this same signal re-entrantly.
+        """
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback) -> None:
+        self._subscribers.remove(callback)
+
     def fire(self, value: Any = None) -> int:
         """Fire the signal; returns the number of waiters resumed."""
         self.fire_count += 1
         waiters, self._waiters = self._waiters, []
         for evt in waiters:
             evt.succeed(value)
+        if self._subscribers:
+            for callback in self._subscribers:
+                callback(value)
         return len(waiters)
 
     @property

@@ -1,0 +1,252 @@
+"""Hierarchical timer wheel: O(1) schedule/cancel for kernel deadlines.
+
+Protocol timers are overwhelmingly *cancelled*, not fired: TCP re-arms its
+retransmission timer on every ACK, the delayed-ACK timer dies whenever a
+data segment piggybacks the ACK, persist and keepalive timers are reset by
+ordinary traffic.  Feeding each of those through the engine's pending-event
+heap (the pre-wheel implementation spawned a whole waiting process plus a
+heap-resident ``Timeout`` per arm) costs ``O(log n)`` per arm and leaves a
+dead event in the heap per cancel -- which is exactly the churn that grows
+with flow count and throttles many-flow simulations.
+
+This module is the classic hierarchical timing wheel (Varghese & Lauck,
+SOSP '87), adapted to a *deterministic* discrete-event engine:
+
+* :meth:`TimerWheel.schedule` appends the deadline to a bucket -- O(1) --
+  and grabs a global engine sequence number **at schedule time**;
+* :meth:`TimerHandle.cancel` flips a flag -- O(1) -- and the bucket drops
+  the carcass wholesale when its slot comes up;
+* due buckets *lazily cascade* into the main event heap: the engine calls
+  :meth:`_spill` just before it would pop an event that could be preceded
+  by a wheel deadline, and the spill pushes ``(deadline, priority, seq)``
+  tuples recorded at schedule time.
+
+Because the spilled tuple is exactly the tuple an immediate heap push
+would have produced, the merged execution order -- and therefore every
+simulated timestamp -- is *bit-identical* to the all-heap implementation.
+The wheel changes only where pending deadlines are parked, never when
+they fire.  (Entries sharing a bucket spill in FIFO insertion order and
+are then re-ordered exactly by the heap; entries whose deadline lies
+beyond ``bound`` may enter the heap a bucket-width early, which is
+harmless -- the heap, not the wheel, decides firing order.)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List
+
+__all__ = ["TimerWheel", "TimerHandle"]
+
+# Handle lifecycle.
+_PENDING = 0    # parked in a wheel bucket
+_SPILLED = 1    # pushed into the engine heap (will fire, or no-op if cancelled)
+_CANCELLED = 2  # cancelled while still in a bucket; dropped at spill
+
+_FAR = float("inf")
+
+
+class TimerHandle:
+    """One scheduled deadline; supports O(1) :meth:`cancel`."""
+
+    __slots__ = ("deadline", "priority", "seq", "callback", "state", "_wheel")
+
+    def __init__(self, deadline: float, priority: int, seq: int,
+                 callback: Callable, wheel: "TimerWheel"):
+        self.deadline = deadline
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.state = _PENDING
+        self._wheel = wheel
+
+    @property
+    def cancelled(self) -> bool:
+        return self.state == _CANCELLED
+
+    def cancel(self) -> None:
+        """Cancel the deadline.
+
+        O(1): the handle is flagged and its bucket slot drops it when the
+        cursor passes.  Cancelling a handle that already spilled into the
+        heap is a no-op here -- the spilled event fires and the caller's
+        own cancelled-flag check (see :class:`repro.hw.host.Timer`) makes
+        it inert, matching the pre-wheel behaviour.
+        """
+        if self.state == _PENDING:
+            self.state = _CANCELLED
+            self._wheel._live -= 1
+
+    def __repr__(self) -> str:
+        return "<TimerHandle @%r prio=%d seq=%d %s>" % (
+            self.deadline, self.priority, self.seq,
+            ("pending", "spilled", "cancelled")[self.state])
+
+
+class TimerWheel:
+    """Hierarchical buckets of pending deadlines, one per engine.
+
+    ``LEVELS`` levels of ``SLOTS`` slots each; level ``i`` buckets span
+    ``GRANULARITY_US * SLOTS**i`` microseconds.  With the defaults the
+    wheel covers ~256 us .. ~20 simulated minutes; anything farther goes
+    straight to the heap (it cannot churn -- nothing re-arms on that
+    scale).
+    """
+
+    GRANULARITY_US = 256.0
+    SLOTS = 256
+    LEVELS = 3
+
+    def __init__(self, engine):
+        self.engine = engine
+        self._widths = [self.GRANULARITY_US * (self.SLOTS ** i)
+                        for i in range(self.LEVELS)]
+        self._slots: List[List[List[TimerHandle]]] = [
+            [[] for _ in range(self.SLOTS)] for _ in range(self.LEVELS)]
+        self._cur = [0] * self.LEVELS  # spilled through bucket _cur[i]
+        self._live = 0       # pending handles (excludes cancelled)
+        self._occupied = 0   # handles physically in buckets (incl. cancelled)
+        self._next_due = _FAR  # lower bound on the earliest pending deadline
+        self.scheduled = 0
+        self.fired_direct = 0  # due/far deadlines that bypassed the buckets
+
+    # -- public API ------------------------------------------------------
+
+    def schedule(self, delay_us: float, callback: Callable,
+                 priority: int = 0) -> TimerHandle:
+        """Park ``callback`` to fire at ``now + delay_us``; O(1).
+
+        ``callback(event)`` runs when the engine processes the deadline,
+        exactly as a callback on an equivalent heap-scheduled timeout
+        would.  The global sequence number is claimed here, so ordering
+        against everything else scheduled at the same deadline is fixed
+        at schedule time -- not at spill time.
+        """
+        if delay_us < 0:
+            raise ValueError(
+                "timer delay must be non-negative, got %r" % delay_us)
+        engine = self.engine
+        deadline = engine.now + delay_us
+        engine._sequence += 1
+        handle = TimerHandle(deadline, priority, engine._sequence,
+                             callback, self)
+        self.scheduled += 1
+        if self._occupied == 0:
+            # Empty wheel: snap the cursors to the clock so the next
+            # spill never grinds over the dead time since the last timer.
+            now = engine.now
+            cur = self._cur
+            for i, width in enumerate(self._widths):
+                cur[i] = int(now // width)
+            self._next_due = _FAR
+        if self._insert(handle):
+            self.fired_direct += 1
+        else:
+            self._occupied += 1
+            self._live += 1
+            if deadline < self._next_due:
+                self._next_due = deadline
+        return handle
+
+    @property
+    def pending(self) -> int:
+        """Live (un-cancelled, un-spilled) deadlines parked in buckets."""
+        return self._live
+
+    # -- placement -------------------------------------------------------
+
+    def _insert(self, handle: TimerHandle) -> bool:
+        """File ``handle`` in a bucket; True if it went to the heap instead
+        (already due, or beyond the outermost level's horizon)."""
+        deadline = handle.deadline
+        widths = self._widths
+        cur = self._cur
+        bucket_index = int(deadline // widths[0])
+        if bucket_index <= cur[0]:
+            self._push_due(handle)
+            return True
+        slots = self.SLOTS
+        for level in range(self.LEVELS):
+            if level:
+                bucket_index = int(deadline // widths[level])
+            if bucket_index - cur[level] < slots:
+                self._slots[level][bucket_index % slots].append(handle)
+                return False
+        self._push_due(handle)
+        return True
+
+    def _push_due(self, handle: TimerHandle) -> None:
+        """Promote ``handle`` to the engine heap with its recorded tuple."""
+        engine = self.engine
+        event = engine._checkout(None, None)
+        event.callbacks.append(handle.callback)
+        heapq.heappush(engine._heap,
+                       (handle.deadline, handle.priority, handle.seq, event))
+        handle.state = _SPILLED
+
+    # -- cascading spill -------------------------------------------------
+
+    def _advance_one(self) -> int:
+        """Advance the level-0 cursor one slot; returns handles spilled."""
+        cur = self._cur
+        cur[0] += 1
+        index = cur[0]
+        if index % self.SLOTS == 0:
+            self._cascade(1, index // self.SLOTS)
+        bucket = self._slots[0][index % self.SLOTS]
+        spilled = 0
+        if bucket:
+            for handle in bucket:
+                self._occupied -= 1
+                if handle.state == _PENDING:
+                    self._push_due(handle)
+                    self._live -= 1
+                    spilled += 1
+            del bucket[:]
+        return spilled
+
+    def _cascade(self, level: int, new_index: int) -> None:
+        """The level below wrapped: redistribute the now-active bucket."""
+        if level >= self.LEVELS:
+            return
+        cur = self._cur
+        cur[level] = new_index
+        if new_index % self.SLOTS == 0:
+            self._cascade(level + 1, new_index // self.SLOTS)
+        bucket = self._slots[level][new_index % self.SLOTS]
+        if bucket:
+            handles = bucket[:]
+            del bucket[:]
+            for handle in handles:
+                self._occupied -= 1
+                if handle.state != _PENDING:
+                    continue
+                if self._insert(handle):
+                    self._live -= 1
+                else:
+                    self._occupied += 1
+
+    def _spill(self, bound: float) -> None:
+        """Push every deadline at or before ``bound`` into the heap.
+
+        Entries sharing the boundary bucket may enter the heap a little
+        early; the heap's (time, priority, seq) order makes that
+        unobservable.
+        """
+        target = int(bound // self._widths[0])
+        cur = self._cur
+        while cur[0] < target and self._occupied:
+            self._advance_one()
+        self._next_due = (cur[0] + 1) * self._widths[0] if self._live else _FAR
+
+    def _spill_next(self) -> None:
+        """Spill the next occupied bucket (requires a live handle)."""
+        while self._live:
+            if self._advance_one():
+                break
+        self._next_due = ((self._cur[0] + 1) * self._widths[0]
+                          if self._live else _FAR)
+
+    def __repr__(self) -> str:
+        return "<TimerWheel %d live / %d occupied, next>=%r>" % (
+            self._live, self._occupied, self._next_due)

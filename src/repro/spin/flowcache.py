@@ -86,17 +86,36 @@ class FlowEntry:
         return "<FlowEntry %r (%d plans)>" % (self.key, len(self.plans))
 
 
+def _default_capacity() -> int:
+    """Flow-cache capacity from ``REPRO_FLOW_CACHE_CAP`` (default 4096)."""
+    raw = os.environ.get("REPRO_FLOW_CACHE_CAP", "")
+    try:
+        capacity = int(raw)
+    except ValueError:
+        capacity = 0
+    return capacity if capacity > 0 else FlowCache.DEFAULT_CAPACITY
+
+
 class FlowCache:
-    """Per-dispatcher cache mapping flow keys to compiled delivery paths."""
+    """Per-dispatcher cache mapping flow keys to compiled delivery paths.
 
-    #: bound on distinct cached flows; exceeding it clears the cache (the
-    #: workloads here use a handful of flows -- this is a safety valve,
-    #: not a tuned eviction policy).
-    MAX_ENTRIES = 4096
+    Bounded LRU: dict insertion order doubles as recency order (a touched
+    entry is deleted and reinserted at the tail), and inserting into a
+    full cache evicts exactly the least-recently-used entry.  Under flow
+    churn beyond the capacity the cache degrades to per-flow recompiles
+    -- never to a global flush, so established hot flows keep their
+    compiled plans while one-shot flows cycle through the cold end.
+    """
 
-    def __init__(self) -> None:
+    #: default bound on distinct cached flows; override per process with
+    #: ``REPRO_FLOW_CACHE_CAP``.
+    DEFAULT_CAPACITY = 4096
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
         self.enabled = flow_cache_enabled()
+        self.capacity = capacity if capacity else _default_capacity()
         self.entries: Dict[Tuple, FlowEntry] = {}
+        self._mru: Optional[Tuple] = None  # tail of the recency order
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
@@ -107,17 +126,27 @@ class FlowCache:
         or the packet is unclassifiable."""
         if key is None or not self.enabled:
             return None
-        entry = self.entries.get(key)
+        entries = self.entries
+        entry = entries.get(key)
         if entry is None:
-            if len(self.entries) >= self.MAX_ENTRIES:
-                self.entries.clear()
+            if len(entries) >= self.capacity:
+                evicted = next(iter(entries))  # head == least recent
+                del entries[evicted]
                 self.evictions += 1
             entry = FlowEntry(key)
-            self.entries[key] = entry
+            entries[key] = entry
+        elif key is not self._mru and key != self._mru:
+            # Move to the recency tail.  Packet trains hit the same flow
+            # back to back, so the one-key memo skips the del/reinsert on
+            # the overwhelmingly common repeat.
+            del entries[key]
+            entries[key] = entry
+        self._mru = key
         return entry
 
     def clear(self) -> None:
         self.entries.clear()
+        self._mru = None
 
     def counters(self) -> Dict[str, int]:
         return {

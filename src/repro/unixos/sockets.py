@@ -205,6 +205,7 @@ class TcpSocket(_SocketBase):
         self.acceptable = Signal(self.host.engine)
         self.peer_closed = False
         self._listener = None
+        self._was_established = False
         if tcb is not None:
             self._attach(tcb)
 
@@ -212,6 +213,10 @@ class TcpSocket(_SocketBase):
 
     def _attach(self, tcb: Tcb) -> None:
         self.tcb = tcb
+        # Accepted children attach established (or later); the latch must
+        # reflect that, because `connect`'s wait loop keys off it.
+        self._was_established = tcb.state not in (
+            TcpState.SYN_SENT, TcpState.SYN_RCVD, TcpState.CLOSED)
         tcb.auto_consume = False
         tcb.on_data = self._on_data
         tcb.on_close = self._on_close
@@ -242,6 +247,7 @@ class TcpSocket(_SocketBase):
         self.sendable.fire(space)
 
     def _on_established(self) -> None:
+        self._was_established = True
         self.connected.fire(True)
 
     # -- user API ------------------------------------------------------------------
@@ -252,9 +258,13 @@ class TcpSocket(_SocketBase):
             tcb = self.stack.tcp.connect(addr[0], addr[1])
             self._attach(tcb)
         yield from self._syscall(work)
-        while self.tcb.state not in (TcpState.ESTABLISHED, TcpState.CLOSED):
+        # Key off the latch, not the live state: under load the peer can
+        # push data and FIN before this process runs again, leaving the
+        # TCB in CLOSE_WAIT -- established in the past, never again
+        # ESTABLISHED at an instant this loop observes.
+        while not self._was_established and self.tcb.state != TcpState.CLOSED:
             yield from self._block_on(self.connected)
-        if self.tcb.state != TcpState.ESTABLISHED:
+        if not self._was_established:
             raise SocketError("connection refused")
 
     def listen(self, port: int, backlog: int = 8) -> Generator:
@@ -327,17 +337,31 @@ class TcpSocket(_SocketBase):
 
 
 class Poller:
-    """A select()-style readiness multiplexer over sockets.
+    """A readiness multiplexer over sockets, in two styles.
 
-    ``wait_readable`` blocks the calling process until at least one of
-    the given sockets is readable, then returns the ready subset.  A
-    socket is readable when its receive buffer holds data, its peer has
-    closed (TCP), or a connection is waiting to be accepted (listener).
-    Each call charges one trap, like the real select(2).
+    * :meth:`wait_readable` -- one-shot, select(2)-like: pass the socket
+      list on every call.
+    * :meth:`register` / :meth:`wait` -- persistent, kqueue-like: the
+      poller subscribes once to each socket's readiness signals; a
+      delivery *marks* its socket in an ordered ready set and fires one
+      wake signal.  ``wait()`` then touches only marked sockets, so a
+      server watching thousands of mostly-idle flows pays per event, not
+      per registered socket per wakeup.
+
+    A socket is readable when its receive buffer holds data, its peer
+    has closed (TCP), or a connection is waiting to be accepted
+    (listener).  Readiness is level-triggered: a marked socket stays in
+    the ready set until a wait finds it drained.  Each wait charges one
+    trap, like the real select(2)/kevent(2).
     """
 
     def __init__(self, host):
         self.host = host
+        #: sock -> [(signal, callback), ...] subscriptions to undo.
+        self._watched: Dict[object, List] = {}
+        #: insertion-ordered set of sockets marked since their last drain.
+        self._ready: Dict[object, None] = {}
+        self._wake = Signal(host.engine)
 
     @staticmethod
     def _is_readable(sock) -> bool:
@@ -357,19 +381,98 @@ class Poller:
             signals.append(sock.acceptable)
         return signals
 
+    # -- persistent registration (kqueue style) ---------------------------
+
+    def register(self, sock) -> None:
+        """Watch ``sock`` until :meth:`unregister`.  Plain code, O(1)."""
+        if sock in self._watched:
+            return
+
+        def mark(_value=None, sock=sock):
+            self._mark(sock, charging=True)
+        subscriptions = []
+        for signal in self._readiness_signals(sock):
+            signal.subscribe(mark)
+            subscriptions.append((signal, mark))
+        self._watched[sock] = subscriptions
+        if self._is_readable(sock):
+            # Ready before registration: mark without charging -- we are
+            # not necessarily inside a kernel charge context here, and no
+            # delivery happened to bill the wakeup to.
+            self._mark(sock, charging=False)
+
+    def unregister(self, sock) -> None:
+        subscriptions = self._watched.pop(sock, None)
+        if subscriptions is None:
+            return
+        for signal, callback in subscriptions:
+            signal.unsubscribe(callback)
+        self._ready.pop(sock, None)
+
+    def _mark(self, sock, charging: bool) -> None:
+        self._ready[sock] = None
+        wake = self._wake
+        if wake.waiter_count:
+            if charging:
+                # Runs inside the sender's kernel path (signal subscribers
+                # fire synchronously): the wakeup of the blocked poller is
+                # billed to the delivery that caused it, exactly where the
+                # per-socket waiter used to bill it.
+                self.host.cpu.charge(self.host.costs.process_wakeup, "sched")
+            wake.fire()
+
+    def wait(self) -> Generator:
+        """Block until a registered socket is ready; returns the ready list.
+
+        The returned list is in mark order (oldest event first).  Work is
+        proportional to the number of marked sockets only.
+        """
+        if not self._watched:
+            raise SocketError("wait() on a poller with nothing registered")
+        costs = self.host.costs
+        yield from self.host.kernel_path(
+            lambda: self.host.cpu.charge(costs.syscall_trap, "syscall"))
+        while True:
+            ready = []
+            stale = []
+            for sock in self._ready:
+                if self._is_readable(sock):
+                    ready.append(sock)
+                else:
+                    stale.append(sock)  # drained since it was marked
+            for sock in stale:
+                del self._ready[sock]
+            if ready:
+                return ready
+            yield self._wake.wait()
+            yield from self.host.kernel_path(
+                lambda: self.host.cpu.charge(costs.context_switch, "sched"))
+
+    # -- one-shot form (select style) ---------------------------------------
+
     def wait_readable(self, sockets) -> Generator:
-        """Block until some socket is ready; returns the ready list."""
+        """Block until some socket is ready; returns the ready list.
+
+        Transient form of :meth:`wait`: sockets are registered for the
+        duration of the call (those already registered are left alone),
+        and the ready subset is returned in the order of the input list.
+        """
         if not sockets:
             raise SocketError("wait_readable needs at least one socket")
         costs = self.host.costs
         yield from self.host.kernel_path(
             lambda: self.host.cpu.charge(costs.syscall_trap, "syscall"))
-        while True:
-            ready = [sock for sock in sockets if self._is_readable(sock)]
-            if ready:
-                return ready
-            waiters = [signal.wait() for sock in sockets
-                       for signal in self._readiness_signals(sock)]
-            yield self.host.engine.any_of(waiters)
-            yield from self.host.kernel_path(
-                lambda: self.host.cpu.charge(costs.context_switch, "sched"))
+        added = [sock for sock in sockets if sock not in self._watched]
+        for sock in added:
+            self.register(sock)
+        try:
+            while True:
+                ready = [sock for sock in sockets if self._is_readable(sock)]
+                if ready:
+                    return ready
+                yield self._wake.wait()
+                yield from self.host.kernel_path(
+                    lambda: self.host.cpu.charge(costs.context_switch, "sched"))
+        finally:
+            for sock in added:
+                self.unregister(sock)
