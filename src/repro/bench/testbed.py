@@ -51,6 +51,12 @@ class Testbed:
     def ip(self, index: int) -> int:
         return self.ips[index]
 
+    def media(self) -> List[object]:
+        """Every impairable wire: the medium itself, or a switch's ports."""
+        if isinstance(self.medium, Switch):
+            return list(self.medium.ports)
+        return [self.medium] if self.medium is not None else []
+
     def run(self, until: Optional[float] = None) -> None:
         self.engine.run(until)
 

@@ -1,0 +1,321 @@
+"""Campaign runner: build, impair, drive, drain, check, fingerprint.
+
+A campaign is a pure function of its :class:`CampaignSpec`: the spec's
+seed derives the impairment config, every per-wire RNG stream, and the
+workload payloads, so running the same spec twice -- in this process, in
+another process, or from a replayed bundle -- produces the identical
+verdict, counters, and trace fingerprint.  ``run_corpus(..., jobs=N)``
+exploits exactly that: campaigns are sharded over a process pool and the
+results merged back in declaration order, byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import hashlib
+import os
+import random
+import zlib
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..hw.link import ImpairmentConfig
+from ..net.tcp.tcb import TcpState
+from ..net.trace import PacketTracer
+from .invariants import check_all
+from .workloads import WORKLOADS, WorkloadState
+
+__all__ = ["CampaignSpec", "CampaignContext", "sample_config",
+           "build_quick_corpus", "run_campaign", "run_corpus",
+           "DRAIN_US", "TRACE_LIMIT"]
+
+#: Post-shutdown settling time: covers the worst retransmit give-up
+#: (8 backoffs capped at 640 ms each ~= 5.1 s) plus TIME_WAIT (1 s).
+DRAIN_US = 12_000_000.0
+
+#: Ring size of the per-campaign tracer -- the decoded tail that lands in
+#: a repro bundle.
+TRACE_LIMIT = 256
+
+#: Per-wire RNG stream separation (a prime, so derived seeds never
+#: collide across the handful of wires a testbed has).
+_WIRE_SEED_STRIDE = 7919
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignSpec:
+    """Everything needed to reproduce one campaign bit-for-bit."""
+
+    name: str
+    seed: int
+    os_name: str                  # "spin" | "unix"
+    device: str                   # "ethernet" | "atm" | "t3"
+    workload: str                 # key into workloads.WORKLOADS
+    scale: int                    # workload size (bytes, datagrams, flows)
+    duration_us: float            # traffic window before shutdown
+    config: ImpairmentConfig
+    oracle: bool = False          # also run the REPRO_FLOW_CACHE=0 oracle
+    sabotage: Optional[str] = None  # deliberate breakage (tests/CI demo)
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = dataclasses.asdict(self)
+        record["config"] = self.config.to_dict()
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "CampaignSpec":
+        record = dict(record)
+        record["config"] = ImpairmentConfig.from_dict(record["config"])
+        return cls(**record)
+
+
+class CampaignContext:
+    """A finished (quiesced) campaign, ready for invariant checking."""
+
+    def __init__(self, spec: CampaignSpec, bed, state: WorkloadState,
+                 models: List, tracer: PacketTracer):
+        self.spec = spec
+        self.bed = bed
+        self.state = state
+        self.models = models
+        self.tracer = tracer
+        self.oracle_violations: List[str] = []
+
+    def impairment_counters(self) -> Dict[str, int]:
+        total: Dict[str, int] = {}
+        for model in self.models:
+            for key, value in model.counters().items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """The determinism contract: identical for identical specs.
+
+        Flow-cache counters are deliberately excluded -- they legitimately
+        differ between the compiled path and the linear-scan oracle.
+        """
+        engine = self.bed.engine
+        flows = {}
+        for flow in self.state.flows:
+            if flow.kind == "stream":
+                body = bytes(flow.received)
+                flows[flow.name] = {
+                    "received": len(body),
+                    "sha": hashlib.sha256(body).hexdigest()[:16],
+                    "reset": flow.reset,
+                }
+            else:
+                body = b"".join(flow.echoes)
+                flows[flow.name] = {
+                    "echoes": len(flow.echoes),
+                    "sha": hashlib.sha256(body).hexdigest()[:16],
+                }
+        tcp = {"segments_sent": 0, "retransmits": 0, "fast_retransmits": 0,
+               "checksum_errors": 0}
+        for stack in self.bed.stacks:
+            tcp["checksum_errors"] += stack.tcp.checksum_errors
+        for tcb in self.state.tcbs:
+            tcp["segments_sent"] += tcb.segments_sent
+            tcp["retransmits"] += tcb.retransmits
+            tcp["fast_retransmits"] += tcb.fast_retransmits
+        return {
+            "final_now_us": engine.now,
+            "events": engine.events_processed,
+            "flows": flows,
+            "tcp": tcp,
+            "media": [medium.fault_counters() for medium in self.bed.media()],
+            "trace_crc": zlib.crc32(self.tracer.render().encode()) & 0xFFFFFFFF,
+        }
+
+
+# ---------------------------------------------------------------------------
+# config sampling
+# ---------------------------------------------------------------------------
+
+def sample_config(rng: random.Random,
+                  duration_us: float = 2_000_000.0) -> ImpairmentConfig:
+    """Draw a moderately hostile impairment config from ``rng``.
+
+    Severities are tuned so a correct stack recovers inside a quick
+    campaign: loss bursts are escapable, flaps are shorter than the
+    retransmit give-up, throttling never starves the wire outright.
+    """
+    values: Dict[str, Any] = {}
+    if rng.random() < 0.75:
+        if rng.random() < 0.5:   # bursty (Gilbert-Elliott proper)
+            values.update(
+                loss_good=rng.uniform(0.0, 0.02),
+                loss_bad=rng.uniform(0.10, 0.45),
+                p_good_bad=rng.uniform(0.005, 0.05),
+                p_bad_good=rng.uniform(0.15, 0.5),
+            )
+        else:                    # independent loss (degenerate GE)
+            rate = rng.uniform(0.01, 0.08)
+            values.update(loss_good=rate, loss_bad=rate)
+    if rng.random() < 0.35:
+        values["corrupt_rate"] = rng.uniform(0.002, 0.03)
+    if rng.random() < 0.5:
+        values.update(duplicate_rate=rng.uniform(0.005, 0.05),
+                      duplicate_gap_us=rng.uniform(50.0, 500.0))
+    if rng.random() < 0.6:
+        values.update(reorder_rate=rng.uniform(0.01, 0.10),
+                      reorder_hold_us=rng.uniform(200.0, 1500.0))
+    if rng.random() < 0.5:
+        values["jitter_us"] = rng.uniform(10.0, 400.0)
+    if rng.random() < 0.3:
+        values["bandwidth_scale"] = rng.uniform(0.4, 1.0)
+    if rng.random() < 0.3 and duration_us > 600_000.0:
+        down = rng.uniform(0.1, 0.4) * duration_us
+        values["flaps"] = ((down, down + rng.uniform(50_000.0, 200_000.0)),)
+    return ImpairmentConfig(**values)
+
+
+# ---------------------------------------------------------------------------
+# the corpus
+# ---------------------------------------------------------------------------
+
+#: (os, device, workload, scale, duration_us) rotation for the corpus.
+_ROTATION: Tuple[Tuple[str, str, str, int, float], ...] = (
+    ("spin", "ethernet", "tcp_bulk", 12_288, 2_500_000.0),
+    ("spin", "ethernet", "udp_echo", 30, 1_200_000.0),
+    ("unix", "ethernet", "tcp_bulk", 12_288, 2_500_000.0),
+    ("spin", "t3", "tcp_bulk", 16_384, 2_000_000.0),
+    ("spin", "atm", "mixed", 8, 2_500_000.0),
+    ("unix", "ethernet", "mixed", 8, 2_500_000.0),
+    ("spin", "ethernet", "mixed", 8, 2_500_000.0),
+    ("unix", "t3", "tcp_bulk", 16_384, 2_000_000.0),
+    ("spin", "atm", "tcp_bulk", 16_384, 2_000_000.0),
+)
+
+
+def build_quick_corpus(base_seed: int = 1996,
+                       count: int = 27) -> List[CampaignSpec]:
+    """The fixed seed corpus: ``count`` campaigns over the rotation."""
+    specs = []
+    for index in range(count):
+        os_name, device, workload, scale, duration = \
+            _ROTATION[index % len(_ROTATION)]
+        seed = base_seed + _WIRE_SEED_STRIDE * 31 * index
+        config = sample_config(random.Random(seed), duration)
+        specs.append(CampaignSpec(
+            name="c%03d" % index, seed=seed, os_name=os_name, device=device,
+            workload=workload, scale=scale, duration_us=duration,
+            config=config,
+            oracle=(os_name == "spin" and index % 5 == 0),
+        ))
+    return specs
+
+
+# ---------------------------------------------------------------------------
+# execution
+# ---------------------------------------------------------------------------
+
+def _execute(spec: CampaignSpec) -> CampaignContext:
+    """Build, impair, drive, shut down, drain.  No checking yet."""
+    from ..bench.testbed import build_testbed
+
+    bed = build_testbed(spec.os_name, spec.device)
+    models = []
+    for index, medium in enumerate(bed.media()):
+        models.append(medium.set_impairments(
+            spec.config, seed=spec.seed + index * _WIRE_SEED_STRIDE))
+    tracer = PacketTracer(bed.engine, limit=TRACE_LIMIT)
+    link_kind = "ethernet" if spec.device == "ethernet" else "raw"
+    for nic in bed.nics:
+        tracer.attach(nic, link_kind)
+
+    workload = WORKLOADS[spec.workload]
+    state = workload(bed, spec)
+    bed.engine.run(until=spec.duration_us)
+    _shutdown(bed)
+    bed.engine.run(until=spec.duration_us + DRAIN_US)
+    ctx = CampaignContext(spec, bed, state, models, tracer)
+    if spec.sabotage:
+        _apply_sabotage(ctx)
+    return ctx
+
+
+def _shutdown(bed) -> None:
+    """Close every non-terminal connection, each on its own host."""
+    for host, stack in zip(bed.hosts, bed.stacks):
+        for tcb in list(stack.tcp.connections.values()):
+            if tcb.state not in (TcpState.CLOSED, TcpState.TIME_WAIT):
+                host.spawn_kernel_path(tcb.close, name="chaos-close")
+
+
+def _apply_sabotage(ctx: CampaignContext) -> None:
+    """Deliberately break an invariant (testing the harness itself)."""
+    kind = ctx.spec.sabotage
+    if kind == "tamper_stream":
+        for flow in ctx.state.flows:
+            if flow.kind == "stream" and flow.received:
+                flow.received[len(flow.received) // 2] ^= 0xFF
+                return
+        raise RuntimeError("tamper_stream: no stream bytes to tamper with")
+    if kind == "leak_timer":
+        ctx.bed.hosts[0].set_timer(3600e6, lambda: None, name="chaos-leak")
+        return
+    raise ValueError("unknown sabotage %r" % kind)
+
+
+def _flow_cache_armed(bed) -> bool:
+    dispatcher = getattr(bed.hosts[0], "dispatcher", None)
+    return dispatcher is not None and dispatcher.flow_cache.enabled
+
+
+def _oracle_fingerprint(spec: CampaignSpec) -> Dict[str, Any]:
+    """Re-run the identical campaign with the flow cache disabled."""
+    saved = os.environ.get("REPRO_FLOW_CACHE")
+    os.environ["REPRO_FLOW_CACHE"] = "0"
+    try:
+        return _execute(spec).fingerprint()
+    finally:
+        if saved is None:
+            del os.environ["REPRO_FLOW_CACHE"]
+        else:
+            os.environ["REPRO_FLOW_CACHE"] = saved
+
+
+def run_campaign(spec: CampaignSpec) -> Dict[str, Any]:
+    """Run one campaign end to end; returns the verdict record."""
+    ctx = _execute(spec)
+    fingerprint = ctx.fingerprint()
+    if spec.oracle and spec.os_name == "spin" and _flow_cache_armed(ctx.bed):
+        oracle = _oracle_fingerprint(spec)
+        if oracle != fingerprint:
+            diverged = sorted(key for key in fingerprint
+                              if oracle.get(key) != fingerprint[key])
+            ctx.oracle_violations.append(
+                "compiled-path run diverges from the REPRO_FLOW_CACHE=0 "
+                "oracle in: %s" % ", ".join(diverged))
+    violations = check_all(ctx)
+    verdict = {
+        "spec": spec.to_dict(),
+        "passed": not violations,
+        "violations": violations,
+        "fingerprint": fingerprint,
+        "impairments": ctx.impairment_counters(),
+        "errors": list(ctx.state.errors),
+    }
+    if violations:
+        verdict["trace_tail"] = ctx.tracer.render(last=64)
+    return verdict
+
+
+def _run_spec_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry point (specs cross as plain dicts)."""
+    return run_campaign(CampaignSpec.from_dict(record))
+
+
+def run_corpus(specs: List[CampaignSpec],
+               jobs: int = 1) -> List[Dict[str, Any]]:
+    """Run campaigns serially or on a process pool.
+
+    Results come back in spec order regardless of ``jobs``, so serial and
+    parallel runs produce byte-identical reports.
+    """
+    if jobs <= 1 or len(specs) <= 1:
+        return [run_campaign(spec) for spec in specs]
+    records = [spec.to_dict() for spec in specs]
+    with concurrent.futures.ProcessPoolExecutor(max_workers=jobs) as pool:
+        return list(pool.map(_run_spec_record, records))

@@ -1,0 +1,212 @@
+"""The invariant registry: what must be true of any quiesced testbed.
+
+Each invariant is a function ``fn(ctx) -> List[str]`` returning human-
+readable violation strings (empty list = holds).  Registration is by
+decorator so the campaign runner, the CLI, and the tests all see the
+same registry.  The checks run after the campaign has drained: traffic
+stopped, every connection closed, retransmissions given up, TIME_WAIT
+expired.
+
+These are conservation laws, not heuristics: every frame a medium
+carried is delivered, lost, flap-dropped, or duplicated -- nothing else;
+every mbuf a host allocated maps to exactly one frame sent or received;
+a TCP stream that closed gracefully delivered byte-for-byte what was
+sent, in order, exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..hw.link import Switch
+from ..net.tcp.tcb import TcpState
+from .workloads import valid_udp_payloads
+
+__all__ = ["INVARIANTS", "invariant", "check_all"]
+
+INVARIANTS: Dict[str, Callable] = {}
+
+
+def invariant(name: str) -> Callable:
+    def register(fn: Callable) -> Callable:
+        if name in INVARIANTS:
+            raise ValueError("invariant %r registered twice" % name)
+        INVARIANTS[name] = fn
+        return fn
+    return register
+
+
+def check_all(ctx) -> List[str]:
+    """Run every registered invariant; returns all violations found."""
+    violations: List[str] = []
+    for name, fn in INVARIANTS.items():
+        for problem in fn(ctx):
+            violations.append("[%s] %s" % (name, problem))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# delivery correctness
+# ---------------------------------------------------------------------------
+
+@invariant("byte_exact_delivery")
+def _byte_exact_delivery(ctx) -> List[str]:
+    """TCP streams arrive byte-exact and in order; UDP echoes are never
+    invented or corrupted (loss and duplication are legal, garbling is
+    not)."""
+    problems = []
+    for flow in ctx.state.flows:
+        if flow.kind == "stream":
+            received = bytes(flow.received)
+            if received != flow.expected[:len(received)]:
+                problems.append(
+                    "%s: received %d bytes diverge from the sent stream"
+                    % (flow.name, len(received)))
+            elif flow.graceful() and received != flow.expected:
+                problems.append(
+                    "%s: graceful close but only %d/%d bytes delivered"
+                    % (flow.name, len(received), len(flow.expected)))
+        else:
+            legal = valid_udp_payloads(flow)
+            for echo in flow.echoes:
+                if echo not in legal:
+                    problems.append(
+                        "%s: echoed datagram matches nothing we sent "
+                        "(len=%d)" % (flow.name, len(echo)))
+                    break
+    return problems
+
+
+@invariant("terminal_socket_states")
+def _terminal_socket_states(ctx) -> List[str]:
+    """After shutdown + drain, no connection is stuck mid-state machine."""
+    problems = []
+    for tcb in ctx.state.tcbs:
+        if tcb.state != TcpState.CLOSED:
+            problems.append("tcb %s:%d->%d stuck in %s"
+                            % (tcb.host.name, tcb.lport, tcb.rport,
+                               tcb.state.value))
+    for index, stack in enumerate(ctx.bed.stacks):
+        leftover = len(stack.tcp.connections)
+        if leftover:
+            problems.append("host %d tcp.connections still holds %d entries"
+                            % (index, leftover))
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# conservation laws
+# ---------------------------------------------------------------------------
+
+@invariant("frame_conservation")
+def _frame_conservation(ctx) -> List[str]:
+    """carried = delivered + lost + flap-dropped - duplicated-extra, on
+    every wire; and every delivery was accepted, filtered, or dropped by
+    exactly one NIC."""
+    problems = []
+    delivered_total = 0
+    for medium in ctx.bed.media():
+        expected = medium.expected_deliveries()
+        if medium.frames_delivered != expected:
+            problems.append(
+                "%s: %d deliveries, counters imply %d (%r)"
+                % (type(medium).__name__, medium.frames_delivered, expected,
+                   medium.fault_counters()))
+        forwarded_in = getattr(medium, "frames_forwarded_in", None)
+        if forwarded_in is None:
+            delivered_total += medium.frames_delivered
+        else:
+            # A switch port's frames_delivered are hand-offs into the
+            # switch fabric; only forward_to_nic reaches a NIC.
+            delivered_total += forwarded_in
+    nic_seen = sum(nic.rx_frames + nic.rx_filtered + nic.rx_drops
+                   for nic in ctx.bed.nics)
+    if delivered_total != nic_seen:
+        problems.append("media delivered %d frames but NICs account for %d"
+                        % (delivered_total, nic_seen))
+    switch = ctx.bed.medium if isinstance(ctx.bed.medium, Switch) else None
+    if switch is not None:
+        accepted = sum(p.frames_delivered for p in switch.ports)
+        handled = switch.frames_forwarded + switch.frames_flooded
+        if accepted != handled:
+            problems.append(
+                "switch accepted %d frames but handled %d "
+                "(forwarded=%d flooded=%d)"
+                % (accepted, handled, switch.frames_forwarded,
+                   switch.frames_flooded))
+        out = sum(p.frames_forwarded_in for p in switch.ports)
+        expected_out = (switch.frames_forwarded
+                        + switch.frames_flooded * (len(switch.ports) - 1))
+        if out != expected_out:
+            problems.append("switch egressed %d frames, counters imply %d"
+                            % (out, expected_out))
+    staged = sum(nic.tx_frames - nic._tx_queue.drops for nic in ctx.bed.nics)
+    carried = sum(medium.frames_carried for medium in ctx.bed.media())
+    if staged != carried:
+        problems.append("NICs staged %d frames but media carried %d"
+                        % (staged, carried))
+    return problems
+
+
+@invariant("mbuf_conservation")
+def _mbuf_conservation(ctx) -> List[str]:
+    """Every mbuf chain a host allocated corresponds to exactly one frame
+    sent or received by that host.  (``pool.allocated`` counts individual
+    chain links -- a jumbo segment on a large-MTU link spans several -- so
+    the per-packet law is on ``pool.chains``.)"""
+    problems = []
+    for host, nic in zip(ctx.bed.hosts, ctx.bed.nics):
+        expected = nic.tx_frames + nic.rx_frames
+        pool = host.mbufs
+        if pool.chains != expected:
+            problems.append(
+                "%s: %d mbuf chains allocated, %d frames moved (tx=%d rx=%d)"
+                % (host.name, pool.chains, expected,
+                   nic.tx_frames, nic.rx_frames))
+        if pool.allocated < pool.chains:
+            problems.append("%s: %d chains but only %d mbufs"
+                            % (host.name, pool.chains, pool.allocated))
+        if pool.freed > pool.allocated:
+            problems.append("%s: freed %d > allocated %d"
+                            % (host.name, pool.freed, pool.allocated))
+    return problems
+
+
+@invariant("nic_rings_drained")
+def _nic_rings_drained(ctx) -> List[str]:
+    """At quiesce no frame sits in a transmit queue or receive ring."""
+    problems = []
+    for nic in ctx.bed.nics:
+        if nic.rx_pending:
+            problems.append("%s: %d frames stuck in the rx ring"
+                            % (nic.name, nic.rx_pending))
+        queued = len(nic._tx_queue)
+        if queued:
+            problems.append("%s: %d frames stuck in the tx queue"
+                            % (nic.name, queued))
+    return problems
+
+
+@invariant("timer_wheel_empty")
+def _timer_wheel_empty(ctx) -> List[str]:
+    """Nothing is scheduled after the drain: no live timer-wheel handle,
+    no heap event (cancelled carcasses may linger; they never fire)."""
+    engine = ctx.bed.engine
+    problems = []
+    pending = engine.pending_count()
+    if pending:
+        problems.append("engine still has %d pending events" % pending)
+    wheel = getattr(engine, "_wheel", None)
+    if wheel is not None and wheel.pending:
+        problems.append("timer wheel holds %d live deadlines" % wheel.pending)
+    return problems
+
+
+@invariant("flow_cache_coherence")
+def _flow_cache_coherence(ctx) -> List[str]:
+    """The compiled-path fingerprint matches the linear-scan oracle.
+
+    Filled in by the campaign runner (it owns the second, cache-disabled
+    run); this registry entry reports the comparison it recorded.
+    """
+    return list(ctx.oracle_violations)

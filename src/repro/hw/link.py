@@ -17,14 +17,15 @@ payload length (ATM cell padding -- the NIC computes it).
 
 from __future__ import annotations
 
+import dataclasses
 import random
-from typing import Any, Dict, Generator, List, Optional
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..sim import Engine, Resource
 from .alpha import MICROSECONDS_PER_SECOND
 
 __all__ = ["Frame", "EthernetSegment", "PointToPointLink", "Switch", "SwitchPort",
-           "BROADCAST"]
+           "BROADCAST", "ImpairmentConfig", "ImpairmentModel"]
 
 #: Link-level broadcast address.
 BROADCAST = "ff:ff:ff:ff:ff:ff"
@@ -61,13 +62,173 @@ def transmission_time_us(wire_bytes: int, bandwidth_bps: float) -> float:
     return wire_bytes * 8.0 / bandwidth_bps * MICROSECONDS_PER_SECOND
 
 
+@dataclasses.dataclass(frozen=True)
+class ImpairmentConfig:
+    """Declarative description of everything wrong with one wire.
+
+    The config is pure data: together with a seed it fully determines the
+    behaviour of an :class:`ImpairmentModel`, so any chaos run is
+    replayable from ``(seed, config)`` alone.  All probabilities are
+    per-frame.
+
+    Loss is the Gilbert-Elliott two-state Markov model: the wire is in a
+    GOOD or BAD state; each frame first drives one state transition
+    (``p_good_bad`` / ``p_bad_good``), then is lost with the current
+    state's loss probability (``loss_good`` / ``loss_bad``).  Independent
+    loss is the degenerate config ``loss_good == loss_bad``.
+
+    ``flaps`` is a schedule of ``(down_at_us, up_at_us)`` windows in
+    simulated time during which the link is hard down (every frame
+    offered to the wire is dropped and counted separately from
+    stochastic loss).
+    """
+
+    loss_good: float = 0.0        # loss probability in the GOOD state
+    loss_bad: float = 0.0         # loss probability in the BAD state
+    p_good_bad: float = 0.0       # per-frame GOOD -> BAD transition prob.
+    p_bad_good: float = 1.0       # per-frame BAD -> GOOD transition prob.
+    corrupt_rate: float = 0.0     # single-bit flip probability
+    duplicate_rate: float = 0.0   # probability a frame is delivered twice
+    duplicate_gap_us: float = 200.0   # extra delay of the duplicate copy
+    reorder_rate: float = 0.0     # probability a frame is held back
+    reorder_hold_us: float = 750.0    # how long a held frame is delayed
+    jitter_us: float = 0.0        # uniform [0, jitter_us) extra delay
+    bandwidth_scale: float = 1.0  # throttle: effective bw = bw * scale
+    flaps: Tuple[Tuple[float, float], ...] = ()   # ((down_us, up_us), ...)
+
+    def validate(self) -> None:
+        for name in ("loss_good", "loss_bad", "p_good_bad", "corrupt_rate",
+                     "duplicate_rate", "reorder_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ValueError("%s must be in [0, 1), got %r" % (name, rate))
+        if not 0.0 < self.p_bad_good <= 1.0:
+            raise ValueError("p_bad_good must be in (0, 1], got %r"
+                             % (self.p_bad_good,))
+        if not 0.0 < self.bandwidth_scale <= 1.0:
+            raise ValueError("bandwidth_scale must be in (0, 1], got %r"
+                             % (self.bandwidth_scale,))
+        for name in ("duplicate_gap_us", "reorder_hold_us", "jitter_us"):
+            if getattr(self, name) < 0.0:
+                raise ValueError("%s must be non-negative" % name)
+        for window in self.flaps:
+            down, up = window
+            if not down < up:
+                raise ValueError("flap window %r must satisfy down < up"
+                                 % (window,))
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = dataclasses.asdict(self)
+        record["flaps"] = [list(window) for window in self.flaps]
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "ImpairmentConfig":
+        record = dict(record)
+        record["flaps"] = tuple(tuple(window)
+                                for window in record.get("flaps", ()))
+        return cls(**record)
+
+
+class ImpairmentModel:
+    """Seeded, composable network impairments for one medium.
+
+    One :class:`random.Random` stream drives every stochastic decision in
+    a *fixed, documented draw order* per frame -- flap check (no draw),
+    Gilbert-Elliott transition + loss, corruption, reorder hold, jitter,
+    duplication -- so a run is bit-replayable from ``(seed, config)``.
+    """
+
+    def __init__(self, config: ImpairmentConfig, seed: int = 1996):
+        config.validate()
+        self.config = config
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.bad_state = False
+        # Counters (the attached medium mirrors these into its own).
+        self.offered = 0
+        self.lost = 0
+        self.flap_dropped = 0
+        self.corrupted = 0
+        self.duplicated = 0
+        self.reordered = 0
+
+    def link_down(self, now: float) -> bool:
+        for down, up in self.config.flaps:
+            if down <= now < up:
+                return True
+        return False
+
+    def apply(self, now: float, frame: Frame) -> List[Tuple[float, Frame]]:
+        """Decide one frame's fate; returns ``[(extra_delay_us, frame)...]``.
+
+        An empty list means the frame was dropped (flap or loss); two
+        entries mean it was duplicated.  ``extra_delay_us`` is added to
+        the medium's propagation delay for that delivery.
+        """
+        config = self.config
+        rng = self.rng
+        self.offered += 1
+        if config.flaps and self.link_down(now):
+            self.flap_dropped += 1
+            return []
+        if config.p_good_bad or config.loss_good or config.loss_bad:
+            if self.bad_state:
+                if rng.random() < config.p_bad_good:
+                    self.bad_state = False
+            elif config.p_good_bad and rng.random() < config.p_good_bad:
+                self.bad_state = True
+            rate = config.loss_bad if self.bad_state else config.loss_good
+            if rate and rng.random() < rate:
+                self.lost += 1
+                return []
+        if config.corrupt_rate and rng.random() < config.corrupt_rate:
+            self.corrupted += 1
+            data = bytearray(frame.data)
+            index = rng.randrange(len(data))
+            data[index] ^= 1 << rng.randrange(8)
+            frame = Frame(bytes(data), frame.src_addr, frame.dst_addr,
+                          wire_bytes=frame.wire_bytes)
+        extra = 0.0
+        if config.reorder_rate and rng.random() < config.reorder_rate:
+            self.reordered += 1
+            extra += config.reorder_hold_us
+        if config.jitter_us:
+            extra += rng.random() * config.jitter_us
+        outcomes = [(extra, frame)]
+        if config.duplicate_rate and rng.random() < config.duplicate_rate:
+            self.duplicated += 1
+            outcomes.append((extra + config.duplicate_gap_us, frame))
+        return outcomes
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "offered": self.offered,
+            "lost": self.lost,
+            "flap_dropped": self.flap_dropped,
+            "corrupted": self.corrupted,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+        }
+
+    def __repr__(self) -> str:
+        return "<ImpairmentModel seed=%d offered=%d lost=%d>" % (
+            self.seed, self.offered, self.lost)
+
+
 class _Medium:
     """Common attach bookkeeping plus fault injection.
 
-    ``set_fault_model(loss_rate, corrupt_rate, seed)`` makes the wire
-    drop or corrupt frames with the given probabilities, from a seeded
-    deterministic RNG -- the failure-injection hook used to exercise
-    retransmission and checksum machinery.
+    Two fault layers, both deterministic:
+
+    * ``set_fault_model(loss_rate, corrupt_rate, seed)`` -- the original
+      independent per-frame loss/corruption hook;
+    * ``set_impairments(config, seed)`` -- the composable
+      :class:`ImpairmentModel` (bursty loss, reordering, duplication,
+      jitter, throttling, link flaps) used by ``repro.chaos``.
+
+    When both are armed the legacy fault model draws first, then the
+    impairment model sees the surviving frames.
     """
 
     def __init__(self, engine: Engine, bandwidth_bps: float, propagation_us: float):
@@ -81,23 +242,107 @@ class _Medium:
         self.bytes_carried = 0
         self.frames_lost = 0
         self.frames_corrupted = 0
+        self.frames_duplicated = 0
+        self.frames_reordered = 0
+        self.frames_flap_dropped = 0
+        self.frames_delivered = 0   # frame_on_wire / switch hand-offs made
         self._loss_rate = 0.0
         self._corrupt_rate = 0.0
         self._fault_rng: Optional[random.Random] = None
+        self._impairments: Optional[ImpairmentModel] = None
 
     def attach(self, nic) -> None:
         self.nics.append(nic)
         nic.link = self
 
     def set_fault_model(self, loss_rate: float = 0.0,
-                        corrupt_rate: float = 0.0, seed: int = 1996) -> None:
-        """Inject faults: each frame is independently lost or corrupted."""
+                        corrupt_rate: float = 0.0,
+                        seed: Optional[int] = 1996) -> None:
+        """Inject faults: each frame is independently lost or corrupted.
+
+        Re-arm semantics are explicit.  Passing an integer ``seed`` (the
+        default ``1996`` included) restarts the deterministic RNG stream
+        from that seed -- even mid-run, discarding the current stream's
+        position.  Passing ``seed=None`` keeps the current stream and
+        only updates the rates; it raises ``ValueError`` when no fault
+        model has been armed yet (there is no stream to keep).
+        """
         for rate in (loss_rate, corrupt_rate):
             if not 0.0 <= rate < 1.0:
                 raise ValueError("fault rates must be in [0, 1)")
+        if seed is None:
+            if self._fault_rng is None:
+                raise ValueError(
+                    "seed=None keeps the current RNG stream, but no fault "
+                    "model is armed on this medium yet")
+        else:
+            self._fault_rng = random.Random(seed)
         self._loss_rate = loss_rate
         self._corrupt_rate = corrupt_rate
-        self._fault_rng = random.Random(seed)
+
+    def set_impairments(self, config: Optional[ImpairmentConfig],
+                        seed: int = 1996) -> Optional[ImpairmentModel]:
+        """Arm the composable impairment model (``config=None`` disarms).
+
+        Returns the armed :class:`ImpairmentModel` so callers can read
+        its counters.  Re-arming replaces the model (and its RNG stream)
+        wholesale.
+        """
+        if config is None:
+            self._impairments = None
+            return None
+        self._impairments = ImpairmentModel(config, seed)
+        return self._impairments
+
+    @property
+    def impairments(self) -> Optional[ImpairmentModel]:
+        return self._impairments
+
+    def _wire_time_us(self, wire_bytes: int) -> float:
+        """Transmission time, honoring any impairment-model throttle."""
+        model = self._impairments
+        if model is not None and model.config.bandwidth_scale != 1.0:
+            return transmission_time_us(
+                wire_bytes, self.bandwidth_bps * model.config.bandwidth_scale)
+        return wire_bytes * 8.0 / self.bandwidth_bps * MICROSECONDS_PER_SECOND
+
+    def _impaired_outcomes(self, frame: Frame) -> List:
+        """Run the impairment model; mirror its verdict into counters."""
+        model = self._impairments
+        lost0 = model.lost
+        flap0 = model.flap_dropped
+        corrupt0 = model.corrupted
+        dup0 = model.duplicated
+        reorder0 = model.reordered
+        outcomes = model.apply(self.engine.now, frame)
+        self.frames_lost += model.lost - lost0
+        self.frames_flap_dropped += model.flap_dropped - flap0
+        self.frames_corrupted += model.corrupted - corrupt0
+        self.frames_duplicated += model.duplicated - dup0
+        self.frames_reordered += model.reordered - reorder0
+        return outcomes
+
+    def delivery_fanout(self) -> int:
+        """Receivers per surviving frame (broadcast media override)."""
+        return 1
+
+    def expected_deliveries(self) -> int:
+        """Deliveries implied by the counters (frame-conservation law)."""
+        return (self.frames_carried - self.frames_lost
+                - self.frames_flap_dropped
+                + self.frames_duplicated) * self.delivery_fanout()
+
+    def fault_counters(self) -> Dict[str, int]:
+        return {
+            "frames_carried": self.frames_carried,
+            "bytes_carried": self.bytes_carried,
+            "frames_lost": self.frames_lost,
+            "frames_corrupted": self.frames_corrupted,
+            "frames_duplicated": self.frames_duplicated,
+            "frames_reordered": self.frames_reordered,
+            "frames_flap_dropped": self.frames_flap_dropped,
+            "frames_delivered": self.frames_delivered,
+        }
 
     def _apply_faults(self, frame: Frame) -> Optional[Frame]:
         """None = frame lost; otherwise the (possibly corrupted) frame."""
@@ -128,13 +373,15 @@ class EthernetSegment(_Medium):
         super().__init__(engine, bandwidth_bps, propagation_us)
         self._medium = Resource(engine, capacity=1)
 
+    def delivery_fanout(self) -> int:
+        return len(self.nics) - 1
+
     def transmit(self, sender, frame: Frame) -> Generator:
         """Occupy the bus for the frame's wire time, then deliver."""
         engine = self.engine
         grant = self._medium.request()
         yield grant
-        yield engine.pooled_timeout(
-            frame.wire_bytes * 8.0 / self.bandwidth_bps * MICROSECONDS_PER_SECOND)
+        yield engine.pooled_timeout(self._wire_time_us(frame.wire_bytes))
         grant.release()
         self.frames_carried += 1
         self.bytes_carried += frame.wire_bytes
@@ -142,6 +389,13 @@ class EthernetSegment(_Medium):
             frame = self._apply_faults(frame)
             if frame is None:
                 return
+        if self._impairments is not None:
+            for extra_us, copy in self._impaired_outcomes(frame):
+                for nic in self.nics:
+                    if nic is not sender:
+                        engine.process(self._delivery(nic, copy, extra_us),
+                                       name="eth-deliver")
+            return
         for nic in self.nics:
             if nic is not sender:
                 engine.process(self._delivery(nic, frame), name="eth-deliver")
@@ -149,8 +403,9 @@ class EthernetSegment(_Medium):
     def _deliver_later(self, nic, frame: Frame) -> None:
         self.engine.process(self._delivery(nic, frame), name="eth-deliver")
 
-    def _delivery(self, nic, frame: Frame) -> Generator:
-        yield self.engine.pooled_timeout(self.propagation_us)
+    def _delivery(self, nic, frame: Frame, extra_us: float = 0.0) -> Generator:
+        yield self.engine.pooled_timeout(self.propagation_us + extra_us)
+        self.frames_delivered += 1
         nic.frame_on_wire(frame)
 
 
@@ -179,13 +434,25 @@ class PointToPointLink(_Medium):
         lane = self._direction[id(sender)]
         grant = lane.request()
         yield grant
-        yield self.engine.pooled_timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
+        yield self.engine.pooled_timeout(self._wire_time_us(frame.wire_bytes))
         grant.release()
         self._account(frame)
         frame = self._apply_faults(frame)
         if frame is None:
             return
+        if self._impairments is not None:
+            for extra_us, copy in self._impaired_outcomes(frame):
+                self.engine.process(
+                    self._deliver_to(peer, copy, self.propagation_us + extra_us),
+                    name="p2p-deliver")
+            return
         yield self.engine.pooled_timeout(self.propagation_us)
+        self.frames_delivered += 1
+        peer.frame_on_wire(frame)
+
+    def _deliver_to(self, peer, frame: Frame, delay_us: float) -> Generator:
+        yield self.engine.pooled_timeout(delay_us)
+        self.frames_delivered += 1
         peer.frame_on_wire(frame)
 
 
@@ -198,6 +465,7 @@ class SwitchPort(_Medium):
         self.switch = switch
         self._to_switch = Resource(engine, capacity=1)
         self._to_nic = Resource(engine, capacity=1)
+        self.frames_forwarded_in = 0   # switch -> NIC deliveries (not impaired)
 
     def attach(self, nic) -> None:
         if self.nics:
@@ -210,25 +478,38 @@ class SwitchPort(_Medium):
         return self.nics[0]
 
     def transmit(self, sender, frame: Frame) -> Generator:
-        """NIC -> switch direction."""
+        """NIC -> switch direction (impairments apply here)."""
         grant = self._to_switch.request()
         yield grant
-        yield self.engine.pooled_timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
+        yield self.engine.pooled_timeout(self._wire_time_us(frame.wire_bytes))
         grant.release()
         self._account(frame)
         frame = self._apply_faults(frame)
         if frame is None:
             return
+        if self._impairments is not None:
+            for extra_us, copy in self._impaired_outcomes(frame):
+                self.engine.process(
+                    self._accept_later(copy, self.propagation_us + extra_us),
+                    name="port-deliver")
+            return
         yield self.engine.pooled_timeout(self.propagation_us)
+        self.frames_delivered += 1
+        self.switch.accept(frame)
+
+    def _accept_later(self, frame: Frame, delay_us: float) -> Generator:
+        yield self.engine.pooled_timeout(delay_us)
+        self.frames_delivered += 1
         self.switch.accept(frame)
 
     def forward_to_nic(self, frame: Frame) -> Generator:
-        """Switch -> NIC direction."""
+        """Switch -> NIC direction (clean: the switch already paid the port)."""
         grant = self._to_nic.request()
         yield grant
         yield self.engine.pooled_timeout(transmission_time_us(frame.wire_bytes, self.bandwidth_bps))
         grant.release()
         yield self.engine.pooled_timeout(self.propagation_us)
+        self.frames_forwarded_in += 1
         self.nic.frame_on_wire(frame)
 
 
@@ -244,6 +525,10 @@ class Switch:
         self._ports: Dict[str, SwitchPort] = {}
         self.frames_forwarded = 0
         self.frames_flooded = 0
+
+    @property
+    def ports(self) -> List[SwitchPort]:
+        return list(self._ports.values())
 
     def new_port(self, propagation_us: float = 1.0) -> SwitchPort:
         return SwitchPort(self.engine, self, self.bandwidth_bps, propagation_us)

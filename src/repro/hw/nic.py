@@ -67,6 +67,7 @@ class NIC:
         self.rx_frames = 0
         self.rx_bytes = 0
         self.rx_drops = 0
+        self.rx_filtered = 0  # delivered by the wire, not addressed to us
         self.promiscuous = False
         self._rx_name = "%s-rx" % self.name  # per-frame process label
         engine.process(self._tx_process(), name="%s-tx" % self.name)
@@ -151,6 +152,7 @@ class NIC:
         """Medium delivered a frame to this NIC."""
         if not self.promiscuous and frame.dst_addr != self.address and \
                 not self._is_broadcast(frame.dst_addr):
+            self.rx_filtered += 1
             return
         if self.rx_pending >= self.rx_ring_len:
             self.rx_drops += 1

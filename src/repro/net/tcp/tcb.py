@@ -233,6 +233,9 @@ class Tcb:
             self.state = TcpState.FIN_WAIT_1
         elif self.state == TcpState.CLOSE_WAIT:
             self.state = TcpState.LAST_ACK
+        # RFC 793: close in SYN_RCVD also heads to FIN_WAIT_1, but only
+        # once the handshake ACK arrives (_process_ack) -- until then the
+        # SYN|ACK must stay the retransmittable segment at snd_una.
         self._output()
 
     def abort(self) -> None:
@@ -451,8 +454,14 @@ class Tcb:
 
         # Handshake ACK consumes the SYN sequence slot.
         if self.state == TcpState.SYN_RCVD:
-            self.state = TcpState.ESTABLISHED
-            self._notify_established()
+            if self.fin_queued:
+                # App closed while still in SYN_RCVD: complete the
+                # handshake straight into FIN_WAIT_1 (no establishment
+                # callback -- the app already hung up).
+                self.state = TcpState.FIN_WAIT_1
+            else:
+                self.state = TcpState.ESTABLISHED
+                self._notify_established()
 
         # Remove acked bytes from the send buffer (SYN/FIN occupy sequence
         # space but not buffer space).
@@ -558,7 +567,11 @@ class Tcb:
 
     def _process_fin(self, fin_seq: int) -> None:
         if fin_seq != self.rcv_nxt:
-            return  # FIN not yet in order
+            if seq_lt(fin_seq, self.rcv_nxt):
+                # Duplicate FIN: our ACK was lost, the peer (e.g. stuck in
+                # LAST_ACK) is retransmitting.  Re-ACK or it never closes.
+                self._send_ack()
+            return  # otherwise: FIN not yet in order
         self._fin_received = True
         self.rcv_nxt = seq_add(self.rcv_nxt, 1)
         self._send_ack()
@@ -633,6 +646,14 @@ class Tcb:
 
     def _retransmit_one(self) -> None:
         """Resend the segment at snd_una."""
+        # Pre-establishment states first: data queued by an early send()
+        # sits in snd_buf, but the unacked segment at snd_una is the SYN.
+        if self.state == TcpState.SYN_SENT:
+            self._send_control(SYN, seq=self.iss)
+            return
+        if self.state == TcpState.SYN_RCVD:
+            self._send_control(SYN | ACK, seq=self.iss)
+            return
         offset = 0
         length = min(len(self.snd_buf), self.mss)
         if length > 0:
@@ -640,10 +661,6 @@ class Tcb:
             self._send_data(self.snd_una, chunk, push=True)
         elif self.fin_sent_seq is not None:
             self._send_control(FIN | ACK, seq=self.fin_sent_seq)
-        elif self.state == TcpState.SYN_SENT:
-            self._send_control(SYN, seq=self.iss)
-        elif self.state == TcpState.SYN_RCVD:
-            self._send_control(SYN | ACK, seq=self.iss)
 
     # -- segment emission --------------------------------------------------------
 

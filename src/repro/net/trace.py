@@ -23,6 +23,9 @@ from .headers import (
     ETHERNET_HEADER,
     ETHERTYPE_ARP,
     ETHERTYPE_IP,
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    ICMP_HEADER,
     IPPROTO_ICMP,
     IPPROTO_TCP,
     IPPROTO_UDP,
@@ -97,6 +100,30 @@ def _decode_udp(data: bytes, off: int) -> str:
                " nocsum" if view.checksum == 0 else ""))
 
 
+_ICMP_TYPE_NAMES = {
+    ICMP_ECHO_REPLY: "echo-reply",
+    ICMP_ECHO_REQUEST: "echo-request",
+    3: "unreachable",
+    11: "time-exceeded",
+}
+
+
+def _decode_icmp(data: bytes, off: int) -> str:
+    if len(data) < off + ICMP_HEADER.size:
+        return "icmp <truncated>"
+    view = VIEW(data, ICMP_HEADER, offset=off)
+    kind = _ICMP_TYPE_NAMES.get(view.type, "type=%d" % view.type)
+    text = "icmp %s" % kind
+    if view.type in (ICMP_ECHO_REQUEST, ICMP_ECHO_REPLY):
+        text += " id=%d seq=%d" % (view.ident, view.seq)
+    elif view.code:
+        text += " code=%d" % view.code
+    payload = len(data) - off - ICMP_HEADER.size
+    if payload > 0:
+        text += " len=%d" % payload
+    return text
+
+
 def _decode_ip(data: bytes, off: int) -> str:
     if len(data) < off + IP_HEADER.size:
         return "ip <truncated>"
@@ -115,7 +142,7 @@ def _decode_ip(data: bytes, off: int) -> str:
     if view.protocol == IPPROTO_UDP:
         return "ip %s %s" % (prefix, _decode_udp(data, payload_off))
     if view.protocol == IPPROTO_ICMP:
-        return "ip %s icmp" % prefix
+        return "ip %s %s" % (prefix, _decode_icmp(data, payload_off))
     return "ip %s proto=%d len=%d" % (prefix, view.protocol,
                                       view.total_length)
 
@@ -154,13 +181,29 @@ class TraceRecord:
 
 
 class PacketTracer:
-    """Records frames crossing the NICs it is attached to."""
+    """Records frames crossing the NICs it is attached to.
+
+    The trace is a ring of at most ``limit`` records: once full, each new
+    frame overwrites the oldest record (``dropped_records`` counts the
+    overwrites), so the tail of a long run -- the part a chaos repro
+    bundle wants -- is always retained.
+    """
 
     def __init__(self, engine, limit: int = 10_000):
+        if limit <= 0:
+            raise ValueError("tracer limit must be positive")
         self.engine = engine
         self.limit = limit
-        self.records: List[TraceRecord] = []
+        self._ring: List[TraceRecord] = []
+        self._next = 0              # oldest slot once the ring is full
         self.dropped_records = 0
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Retained records, oldest first (a fresh list)."""
+        if len(self._ring) < self.limit or self._next == 0:
+            return list(self._ring)
+        return self._ring[self._next:] + self._ring[:self._next]
 
     def attach(self, nic, link_kind: str = "ethernet") -> None:
         """Tap ``nic``: record every frame it sends or receives."""
@@ -183,12 +226,14 @@ class PacketTracer:
 
     def _record(self, nic_name: str, direction: str, data: bytes,
                 link_kind: str) -> None:
-        if len(self.records) >= self.limit:
+        record = TraceRecord(self.engine.now, nic_name, direction, data,
+                             decode_frame(data, link_kind))
+        if len(self._ring) < self.limit:
+            self._ring.append(record)
+        else:
+            self._ring[self._next] = record
+            self._next = (self._next + 1) % self.limit
             self.dropped_records += 1
-            return
-        self.records.append(TraceRecord(
-            self.engine.now, nic_name, direction, data,
-            decode_frame(data, link_kind)))
 
     # -- queries ---------------------------------------------------------
 
@@ -199,15 +244,19 @@ class PacketTracer:
         return [r for r in self.records if start <= r.time <= end]
 
     def clear(self) -> None:
-        self.records.clear()
+        self._ring.clear()
+        self._next = 0
+        self.dropped_records = 0
 
     def render(self, last: Optional[int] = None) -> str:
         """tcpdump-style text of the trace (optionally only the tail)."""
-        records = self.records if last is None else self.records[-last:]
+        records = self.records
+        if last is not None:
+            records = records[-last:]
         lines = ["%10.1f  %-8s %-2s  %s"
                  % (r.time, r.nic_name, r.direction, r.summary)
                  for r in records]
         if self.dropped_records:
-            lines.append("... %d records dropped (limit %d)"
+            lines.append("... %d records dropped (ring limit %d)"
                          % (self.dropped_records, self.limit))
         return "\n".join(lines)

@@ -153,6 +153,16 @@ class TimerWheel:
         """Live (un-cancelled, un-spilled) deadlines parked in buckets."""
         return self._live
 
+    @property
+    def occupied(self) -> int:
+        """Handles physically parked in buckets, cancelled carcasses included.
+
+        At quiesce ``pending`` must be zero; ``occupied`` may stay positive
+        (cancelled timers are swept lazily), so invariant checks should use
+        ``pending``.
+        """
+        return self._occupied
+
     # -- placement -------------------------------------------------------
 
     def _insert(self, handle: TimerHandle) -> bool:

@@ -382,7 +382,8 @@ class MbufPool:
 
     def __init__(self, host):
         self.host = host
-        self.allocated = 0
+        self.allocated = 0   # individual mbufs (chain links)
+        self.chains = 0      # packet chains, i.e. one per logical packet
         self.freed = 0
 
     def _charge_alloc(self, chain: Mbuf) -> Mbuf:
@@ -408,6 +409,7 @@ class MbufPool:
         except KeyError:
             times["mbuf"] = amount
         self.allocated += count
+        self.chains += 1
         return chain
 
     def from_bytes(self, data: Union[bytes, bytearray], leading_space: int = 64,

@@ -223,6 +223,61 @@ class TestDecoder:
         assert tracer.dropped_records > 0
         assert "records dropped" in tracer.render()
 
+    def test_decode_icmp_echo(self):
+        bed = build_testbed("spin", "ethernet")
+        tracer = PacketTracer(bed.engine)
+        tracer.attach(bed.nics[0])
+        bed.engine.run_process(bed.hosts[0].kernel_path(
+            lambda: bed.stacks[0].icmp.send_echo_request(
+                bed.ip(1), ident=7, seq=3)))
+        bed.engine.run()
+        assert tracer.matching("icmp echo-request id=7 seq=3")
+        assert tracer.matching("icmp echo-reply id=7 seq=3")
+
+    def test_ring_wraparound_keeps_newest_in_order(self):
+        bed = build_testbed("spin", "ethernet")
+        tracer = PacketTracer(bed.engine, limit=3)
+        tracer.attach(bed.nics[0])
+        sender = bed.stacks[0].udp_manager.bind(Credential("c"), 7001, _noop)
+
+        def blast():
+            for size in (8, 16, 24, 32, 40, 48, 56):
+                yield from bed.hosts[0].kernel_path(
+                    lambda s=size: sender.send(bytes(s), bed.ip(1), 7000))
+        bed.engine.run_process(blast())
+        bed.engine.run()
+        records = tracer.records
+        # Exactly the newest `limit` records survive, oldest-first.
+        assert len(records) == 3
+        assert tracer.dropped_records == 4
+        timestamps = [record.time for record in records]
+        assert timestamps == sorted(timestamps)
+        sizes = [len(record.data) for record in records]
+        assert sizes == sorted(sizes)  # payloads grew monotonically
+        assert "4 records dropped" in tracer.render()
+
+    def test_ring_limit_validated(self):
+        bed = build_testbed("spin", "ethernet")
+        with pytest.raises(ValueError):
+            PacketTracer(bed.engine, limit=0)
+
+    def test_clear_resets_ring_and_drop_count(self):
+        bed = build_testbed("spin", "ethernet")
+        tracer = PacketTracer(bed.engine, limit=2)
+        tracer.attach(bed.nics[0])
+        sender = bed.stacks[0].udp_manager.bind(Credential("c"), 7001, _noop)
+
+        def blast():
+            for _ in range(4):
+                yield from bed.hosts[0].kernel_path(
+                    lambda: sender.send(bytes(8), bed.ip(1), 7000))
+        bed.engine.run_process(blast())
+        bed.engine.run()
+        assert tracer.dropped_records > 0
+        tracer.clear()
+        assert tracer.records == []
+        assert tracer.dropped_records == 0
+
     def test_timeline_queries(self):
         bed = build_testbed("spin", "ethernet")
         tracer = PacketTracer(bed.engine)

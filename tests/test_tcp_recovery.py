@@ -1,0 +1,204 @@
+"""TCP loss-recovery corners: RTO backoff, Karn's rule, fast recovery.
+
+These complement test_net_tcp.py with precise checks on the retransmit
+machinery itself: the exponential backoff must double up to (and stop
+at) the RTO ceiling, RTT samples must never be taken from retransmitted
+segments, and fast recovery must deflate cwnd back to ssthresh when the
+recovery point is acked.
+"""
+
+from repro.net.tcp import TcpState
+
+from nethelpers import make_pair
+from test_net_tcp import establish
+
+
+def _is_data_segment(packet_bytes: bytes) -> bool:
+    """Heuristic for the direct wire: only data segments carry a payload
+    big enough to push the IP packet past headers-only size."""
+    return len(packet_bytes) > 200
+
+
+class TestRtoBackoff:
+    def test_backoff_doubles_to_ceiling_then_gives_up(self):
+        engine, wire, a, b = make_pair()
+        client, server = establish(engine, a, b)
+        resets = []
+        client.on_reset = lambda: resets.append(True)
+        wire.drop_filter = lambda pkt, nh: True  # black hole
+
+        rtos = []
+        orig = client._retransmit_one
+
+        def spy():
+            rtos.append(client.rto)
+            orig()
+        client._retransmit_one = spy
+
+        a.run_kernel(lambda: client.send(bytes(512)))
+        engine.run()
+
+        # Gave up after the full backoff schedule, signalling the app.
+        assert resets == [True]
+        assert client.state == TcpState.CLOSED
+        assert len(rtos) == client.MAX_RETRANSMITS
+        # Each timeout doubles the RTO, saturating at the ceiling.
+        for earlier, later in zip(rtos, rtos[1:]):
+            assert later == min(earlier * 2, client.MAX_RTO_US)
+        assert rtos[-1] == client.MAX_RTO_US
+
+    def test_backoff_resets_after_recovery(self):
+        engine, wire, a, b = make_pair()
+        client, server = establish(engine, a, b)
+        # Drop the first two copies of the first data segment, then heal.
+        state = {"drops": 0}
+
+        def drop_twice(pkt, nh):
+            if nh == b.my_ip and _is_data_segment(pkt) and state["drops"] < 2:
+                state["drops"] += 1
+                return True
+            return False
+        wire.drop_filter = drop_twice
+
+        a.run_kernel(lambda: client.send(bytes(512)))
+        engine.run()
+        assert state["drops"] == 2
+        assert client.retransmits == 2
+        # The ack of the third copy cleared the consecutive-timeout count.
+        assert client._rexmt_shift == 0
+        assert client.state == TcpState.ESTABLISHED
+
+
+class TestKarn:
+    def test_no_rtt_sample_from_retransmitted_segment(self):
+        engine, wire, a, b = make_pair()
+        client, server = establish(engine, a, b)
+
+        samples = []
+        orig_update = client._update_rtt
+
+        def spy(sample_us):
+            samples.append(sample_us)
+            orig_update(sample_us)
+        client._update_rtt = spy
+
+        dropped = []
+
+        def drop_first_data(pkt, nh):
+            if nh == b.my_ip and _is_data_segment(pkt) and not dropped:
+                dropped.append(pkt)
+                return True
+            return False
+        wire.drop_filter = drop_first_data
+
+        srtt_before = client.srtt
+        assert srtt_before is not None  # handshake took a sample
+
+        a.run_kernel(lambda: client.send(bytes(512)))
+        engine.run()
+        # The segment was retransmitted, so its ack is ambiguous: Karn's
+        # rule forbids sampling it.
+        assert dropped and client.retransmits == 1
+        assert samples == []
+        assert client.srtt == srtt_before
+
+        # A clean (never-retransmitted) segment resumes sampling.
+        wire.drop_filter = None
+        a.run_kernel(lambda: client.send(bytes(512)))
+        engine.run()
+        assert len(samples) == 1
+
+    def test_timeout_clears_rtt_sequence(self):
+        engine, wire, a, b = make_pair()
+        client, server = establish(engine, a, b)
+        wire.drop_filter = lambda pkt, nh: nh == b.my_ip and _is_data_segment(pkt)
+        a.run_kernel(lambda: client.send(bytes(512)))
+        # Run just long enough for one retransmit timeout.
+        engine.run(until=engine.now + client.rto * 1.5)
+        assert client.retransmits >= 1
+        assert client._rtt_seq is None
+
+
+class TestFastRecovery:
+    def test_three_dupacks_trigger_fast_retransmit(self):
+        engine, wire, a, b = make_pair()
+        received = bytearray()
+        client, server = establish(engine, a, b,
+                                   server_received=received.extend)
+        total = 32 * 1024
+        state = {"data_segs": 0, "dropped": 0}
+
+        def drop_sixth_data(pkt, nh):
+            if nh == b.my_ip and _is_data_segment(pkt):
+                state["data_segs"] += 1
+                if state["data_segs"] == 6 and not state["dropped"]:
+                    state["dropped"] += 1
+                    return True
+            return False
+        wire.drop_filter = drop_sixth_data
+
+        a.run_kernel(lambda: client.send(bytes(total)))
+        engine.run()
+        assert state["dropped"] == 1
+        assert client.fast_retransmits == 1
+        assert bytes(received) == bytes(total)
+
+    def test_recovery_deflates_cwnd_to_ssthresh(self):
+        engine, wire, a, b = make_pair()
+        received = bytearray()
+        client, server = establish(engine, a, b,
+                                   server_received=received.extend)
+        total = 32 * 1024
+        state = {"data_segs": 0, "dropped": 0}
+
+        def drop_sixth_data(pkt, nh):
+            if nh == b.my_ip and _is_data_segment(pkt):
+                state["data_segs"] += 1
+                if state["data_segs"] == 6 and not state["dropped"]:
+                    state["dropped"] += 1
+                    return True
+            return False
+        wire.drop_filter = drop_sixth_data
+
+        deflations = []
+        inflated = []
+        orig = client._process_ack
+
+        def spy(seg):
+            in_recovery = client.dupacks >= 3
+            if in_recovery:
+                inflated.append(client.cwnd)
+            orig(seg)
+            if in_recovery and client.dupacks == 0:
+                deflations.append((client.cwnd, client.ssthresh))
+        client._process_ack = spy
+
+        a.run_kernel(lambda: client.send(bytes(total)))
+        engine.run()
+        assert client.fast_retransmits == 1
+        # While in recovery the window was inflated past ssthresh...
+        assert inflated and max(inflated) >= client.ssthresh
+        # ...and the ack of the recovery point deflated it exactly.
+        assert deflations
+        cwnd_after, ssthresh_after = deflations[0]
+        assert cwnd_after == ssthresh_after
+        assert bytes(received) == bytes(total)
+
+
+class TestHandshakeRetransmission:
+    def test_lost_syn_ack_is_retransmitted_as_syn_ack(self):
+        """A SYN_RCVD retransmit must resend the SYN|ACK, not data."""
+        engine, wire, a, b = make_pair()
+        state = {"to_client": 0}
+
+        def drop_first_syn_ack(pkt, nh):
+            if nh == a.my_ip:
+                state["to_client"] += 1
+                return state["to_client"] == 1
+            return False
+        wire.drop_filter = drop_first_syn_ack
+
+        client, server = establish(engine, a, b)
+        assert server.retransmits >= 1
+        assert client.state == TcpState.ESTABLISHED
+        assert server.state == TcpState.ESTABLISHED
