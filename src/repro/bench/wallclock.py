@@ -58,11 +58,15 @@ __all__ = [
 #: invalidation/eviction counters of the compiled delivery paths).
 #: Schema 3 adds the ``many_flows`` scale-out workload (its records carry
 #: ``per_flow_kb`` and no ``flow_cache`` section -- the UNIX model has no
-#: dispatcher).  The report deliberately records nothing about *how* it
-#: was produced beyond ``generated_by``: a parallel run
+#: dispatcher).  Schema 4 adds the per-workload ``metrics`` section: the
+#: full ``repro.obs`` registry snapshot of the workload's testbed, taken
+#: after the timed region.  Every workload builds a fresh testbed whose
+#: counters start at zero, so the snapshot *is* the registry delta for
+#: that workload.  The report deliberately records nothing about *how*
+#: it was produced beyond ``generated_by``: a parallel run
 #: (``repro.bench.runner``, ``--jobs N``) must emit the byte-identical
 #: file a serial run does.
-REPORT_SCHEMA_VERSION = 3
+REPORT_SCHEMA_VERSION = 4
 REPORT_FILENAME = "BENCH_wallclock.json"
 
 #: repo-root and committed-baseline locations, resolved relative to this file
@@ -95,14 +99,31 @@ def _flow_cache_counters(hosts) -> Dict:
     return total
 
 
-def _dispatcher_micro(scale: int) -> Dict:
+def _metrics_snapshot(bed) -> Dict:
+    """The ``repro.obs`` registry snapshot of a finished workload bed.
+
+    Taken outside the timed region; deterministic, so serial and
+    parallel report generation stay byte-identical.
+    """
+    from ..obs.wire import instrument_testbed
+    return instrument_testbed(bed).snapshot()
+
+
+def _dispatcher_micro(scale: int, instrument=None) -> Dict:
     """Raw dispatch: 8 handlers (4 guarded), ``scale`` raises."""
+    from types import SimpleNamespace
+
     from ..sim import Engine
     from ..spin.kernel import SpinKernel
 
     engine = Engine()
     kernel = SpinKernel(engine, "wallclock-micro")
     event = kernel.dispatcher.declare("Wallclock.Micro")
+    # The micro-benchmark has no Testbed; a shim with the same shape
+    # lets the obs layer attach profilers and registries all the same.
+    bed = SimpleNamespace(engine=engine, hosts=[kernel], stacks=(), nics=())
+    if instrument is not None:
+        instrument(bed)
 
     hits = [0]
 
@@ -135,6 +156,7 @@ def _dispatcher_micro(scale: int) -> Dict:
         "packets": 0,
         "packets_per_sec": 0.0,
         "flow_cache": kernel.dispatcher.flow_cache.counters(),
+        "metrics": _metrics_snapshot(bed),
         "fingerprint": {
             "raises": scale,
             "invocations": invocations,
@@ -143,7 +165,7 @@ def _dispatcher_micro(scale: int) -> Dict:
     }
 
 
-def _udp_pingpong(scale: int) -> Dict:
+def _udp_pingpong(scale: int, instrument=None) -> Dict:
     """Figure 5 inner loop: ``scale`` UDP round trips over Ethernet."""
     from ..core.manager import Credential
     from ..lang.ephemeral import ephemeral
@@ -151,6 +173,8 @@ def _udp_pingpong(scale: int) -> Dict:
     from .testbed import build_testbed
 
     bed = build_testbed("spin", "ethernet", deliver_mode="interrupt")
+    if instrument is not None:
+        instrument(bed)
     engine = bed.engine
     client_stack, server_stack = bed.stacks
     client_host = bed.hosts[0]
@@ -197,6 +221,7 @@ def _udp_pingpong(scale: int) -> Dict:
         "packets": packets,
         "packets_per_sec": packets / wall if wall > 0 else 0.0,
         "flow_cache": _flow_cache_counters(bed.hosts),
+        "metrics": _metrics_snapshot(bed),
         "fingerprint": {
             "trips": scale,
             "mean_rtt_us": sum(samples) / len(samples),
@@ -205,7 +230,7 @@ def _udp_pingpong(scale: int) -> Dict:
     }
 
 
-def _tcp_bulk(scale: int) -> Dict:
+def _tcp_bulk(scale: int, instrument=None) -> Dict:
     """Section 4.2 inner loop: bulk TCP of ``scale`` bytes over ATM."""
     from ..core.manager import Credential
     from ..hw.alpha import MICROSECONDS_PER_SECOND
@@ -213,6 +238,8 @@ def _tcp_bulk(scale: int) -> Dict:
     from .testbed import build_testbed
 
     bed = build_testbed("spin", "atm", deliver_mode="interrupt")
+    if instrument is not None:
+        instrument(bed)
     engine = bed.engine
     sender_stack, receiver_stack = bed.stacks
     sender_host, receiver_host = bed.hosts
@@ -269,6 +296,7 @@ def _tcp_bulk(scale: int) -> Dict:
         "packets": packets,
         "packets_per_sec": packets / wall if wall > 0 else 0.0,
         "flow_cache": _flow_cache_counters(bed.hosts),
+        "metrics": _metrics_snapshot(bed),
         "fingerprint": {
             "bytes": state["received"],
             "segments": state["segments"],
@@ -287,7 +315,7 @@ def _rss_kb() -> int:
         return 0
 
 
-def _many_flows(scale: int) -> Dict:
+def _many_flows(scale: int, instrument=None) -> Dict:
     """Scale-out: ``scale`` concurrent client flows against one server.
 
     One UNIX-model server plays a small HTTP/video origin on a 155 Mb/s
@@ -318,6 +346,8 @@ def _many_flows(scale: int) -> Dict:
     tcp_port, udp_port = 80, 5004
 
     bed = build_testbed("unix", "atm", deliver_mode="interrupt")
+    if instrument is not None:
+        instrument(bed)
     engine = bed.engine
     client_host, server_host = bed.hosts[0], bed.hosts[1]
     client_sockets, server_sockets = bed.sockets[0], bed.sockets[1]
@@ -418,6 +448,7 @@ def _many_flows(scale: int) -> Dict:
         # Best effort (0 when an earlier workload already set the peak);
         # never part of the fingerprint.
         "per_flow_kb": rss_grew_kb / scale,
+        "metrics": _metrics_snapshot(bed),
         "fingerprint": {
             "flows": scale,
             "tcp_done": state["tcp_done"],
@@ -445,13 +476,18 @@ WORKLOADS: Dict[str, tuple] = {
 # ---------------------------------------------------------------------------
 
 def run_workload(name: str, quick: bool = False,
-                 repeats: int = 1) -> Dict:
+                 repeats: int = 1, instrument=None) -> Dict:
     """Run one workload; returns its metrics + fingerprint record.
 
     With ``repeats > 1`` the best (fastest) wall-clock repeat is reported
     -- standard practice for throughput numbers -- and every repeat's
     fingerprint is checked for bit-identical equality, which is the
     in-process half of the determinism guard.
+
+    ``instrument`` is a callback invoked with the freshly built testbed
+    before the timed region starts -- the hook ``repro.obs`` uses to
+    attach CPU profilers and span tracers.  It must not perturb
+    simulated time (the fingerprint equality check enforces this).
     """
     fn, quick_scale, full_scale = WORKLOADS[name]
     scale = quick_scale if quick else full_scale
@@ -464,7 +500,7 @@ def run_workload(name: str, quick: bool = False,
         gc.collect()
         gc.disable()
         try:
-            record = fn(scale)
+            record = fn(scale, instrument=instrument)
         finally:
             if gc_was_enabled:
                 gc.enable()

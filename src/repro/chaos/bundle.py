@@ -21,7 +21,10 @@ __all__ = ["write_bundle", "load_bundle", "DEFAULT_BUNDLE_DIR"]
 
 DEFAULT_BUNDLE_DIR = "chaos_bundles"
 
-BUNDLE_SCHEMA = 1
+#: Schema 2 adds the ``metrics`` section: the full ``repro.obs`` registry
+#: snapshot of the failing bed, so a bundle carries component health
+#: (drops, evictions, checksum errors) alongside the trace tail.
+BUNDLE_SCHEMA = 2
 
 
 def write_bundle(verdict: Dict[str, Any],
@@ -37,6 +40,7 @@ def write_bundle(verdict: Dict[str, Any],
         "violations": verdict["violations"],
         "fingerprint": verdict["fingerprint"],
         "impairments": verdict.get("impairments", {}),
+        "metrics": verdict.get("metrics", {}),
         "errors": verdict.get("errors", []),
         "trace_tail": verdict.get("trace_tail", ""),
     }

@@ -289,12 +289,17 @@ def run_campaign(spec: CampaignSpec) -> Dict[str, Any]:
                 "compiled-path run diverges from the REPRO_FLOW_CACHE=0 "
                 "oracle in: %s" % ", ".join(diverged))
     violations = check_all(ctx)
+    from ..obs.wire import instrument_testbed
     verdict = {
         "spec": spec.to_dict(),
         "passed": not violations,
         "violations": violations,
         "fingerprint": fingerprint,
         "impairments": ctx.impairment_counters(),
+        # Full obs-registry snapshot of the finished bed: deterministic,
+        # so it rides along in replay bundles without breaking byte-equal
+        # serial/parallel corpus verdicts.
+        "metrics": instrument_testbed(ctx.bed).snapshot(),
         "errors": list(ctx.state.errors),
     }
     if violations:

@@ -62,6 +62,9 @@ class CPU:
         # counted so skipped work is visible instead of silently dropped.
         self.uncontexted_charges = 0
         self.uncontexted_charge_us: float = 0.0
+        #: optional repro.obs.profiler.CpuHook; None (the default) keeps
+        #: every hot path on its uninstrumented shape.
+        self.profile = None
 
     # -- the charge accumulator ------------------------------------------
 
@@ -151,6 +154,9 @@ class CPU:
         yield self.engine.pooled_timeout(microseconds)
         self.busy_time += microseconds
         self._consumed_slices += 1
+        profile = self.profile
+        if profile is not None:
+            profile.consumed(microseconds)
         request.release()
 
     def execute(self, fn: Callable, args: Tuple = (),
@@ -159,11 +165,16 @@ class CPU:
 
         Returns ``fn``'s return value (as the generator's return value).
         """
+        profile = self.profile
+        if profile is not None:
+            profile.push(getattr(fn, "__name__", "execute"))
         marker = self.begin()
         try:
             result = fn(*args)
         finally:
             amount = self.end(marker)
+            if profile is not None:
+                profile.pop()
         yield from self.consume(amount, priority)
         return result
 
@@ -185,3 +196,15 @@ class CPU:
         if total == 0:
             return 0.0
         return self.category_times.get(category, 0.0) / total
+
+    def register_metrics(self, registry) -> None:
+        """Publish the accounting counters on a metrics registry."""
+        registry.source("hw.cpu.busy_us", lambda: self.busy_time)
+        registry.source("hw.cpu.charged_us",
+                        lambda: sum(self.category_times.values()))
+        registry.source("hw.cpu.consumed_slices",
+                        lambda: self._consumed_slices)
+        registry.source("hw.cpu.uncontexted_charges",
+                        lambda: self.uncontexted_charges)
+        registry.source("hw.cpu.uncontexted_charge_us",
+                        lambda: self.uncontexted_charge_us)

@@ -125,6 +125,11 @@ class Host:
         cpu = self.cpu
         request = cpu.resource.request(priority)
         yield request
+        # Off-by-default observability hook: one attribute load + None
+        # check per path when no profiler/tracer is attached.
+        profile = cpu.profile
+        if profile is not None:
+            profile.push(getattr(fn, "__name__", "kernel_path"))
         # cpu.begin()/end() inlined (exact bodies): one push/pop per path.
         stack = cpu._stack
         stack.append(0.0)
@@ -132,6 +137,8 @@ class Host:
         try:
             result = fn(*args)
         finally:
+            if profile is not None:
+                profile.pop()
             if marker != len(stack):
                 raise ChargeError(
                     "mismatched cpu.end(): marker %d but stack depth %d"
@@ -149,6 +156,8 @@ class Host:
         if amount > 0:
             yield self.engine.pooled_timeout(amount)
             cpu.busy_time += amount
+            if profile is not None:
+                profile.consumed(amount)
         request.release()
         for action in deferred:
             action()

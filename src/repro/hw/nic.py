@@ -82,6 +82,16 @@ class NIC:
         """Bytes the frame occupies on the wire (padding, cells...)."""
         return frame_len
 
+    def register_metrics(self, registry) -> None:
+        """Publish the ring/frame counters on a metrics registry."""
+        registry.source("hw.nic.tx_frames", lambda: self.tx_frames)
+        registry.source("hw.nic.tx_bytes", lambda: self.tx_bytes)
+        registry.source("hw.nic.rx_frames", lambda: self.rx_frames)
+        registry.source("hw.nic.rx_bytes", lambda: self.rx_bytes)
+        registry.source("hw.nic.rx_drops", lambda: self.rx_drops)
+        registry.source("hw.nic.rx_filtered", lambda: self.rx_filtered)
+        registry.source("hw.nic.rx_pending", lambda: self.rx_pending)
+
     # -- transmit path -------------------------------------------------------
 
     def stage_tx(self, data: bytes, dst_addr: str) -> bool:

@@ -79,6 +79,16 @@ class TcpProto:
         self.resets_sent = 0
         self.no_listener = 0
 
+    def register_metrics(self, registry) -> None:
+        """Publish the protocol counters on a metrics registry."""
+        registry.source("net.tcp.segments_in", lambda: self.segments_in)
+        registry.source("net.tcp.segments_out", lambda: self.segments_out)
+        registry.source("net.tcp.checksum_errors",
+                        lambda: self.checksum_errors)
+        registry.source("net.tcp.resets_sent", lambda: self.resets_sent)
+        registry.source("net.tcp.no_listener", lambda: self.no_listener)
+        registry.source("net.tcp.connections", lambda: len(self.connections))
+
     # -- connection management ---------------------------------------------
 
     def next_iss(self) -> int:

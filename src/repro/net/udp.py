@@ -46,6 +46,15 @@ class UdpProto:
         self.checksum_errors = 0
         self.checksums_skipped = 0
 
+    def register_metrics(self, registry) -> None:
+        """Publish the protocol counters on a metrics registry."""
+        registry.source("net.udp.datagrams_in", lambda: self.datagrams_in)
+        registry.source("net.udp.datagrams_out", lambda: self.datagrams_out)
+        registry.source("net.udp.checksum_errors",
+                        lambda: self.checksum_errors)
+        registry.source("net.udp.checksums_skipped",
+                        lambda: self.checksums_skipped)
+
     # -- send path ----------------------------------------------------------
 
     def output(self, m: Mbuf, src_port: int, dst_ip: int, dst_port: int,

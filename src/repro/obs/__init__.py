@@ -1,0 +1,53 @@
+"""Unified observability: metrics registry, CPU profiler, span tracer.
+
+Three cooperating pieces, all strictly off-by-default on the simulated
+timeline (attaching any of them never changes a fingerprint):
+
+* :mod:`repro.obs.registry` -- a central :class:`MetricsRegistry` of
+  named counters/gauges/histograms behind a stable dotted namespace
+  (``spin.flowcache.evictions``, ``hw.nic.rx_filtered``, ...) with a
+  JSON snapshot API.  Components expose ``register_metrics(registry)``;
+  :func:`repro.obs.wire.instrument_testbed` wires a whole testbed.
+* :mod:`repro.obs.profiler` -- a simulated-CPU profiler that intercepts
+  the cost-charging path and attributes every charged microsecond to a
+  ``(host, domain, component, operation)`` stack, emitting folded-stack
+  files renderable as flamegraphs.
+* :mod:`repro.obs.spans` -- per-packet path timelines (NIC rx ->
+  dispatcher -> handlers -> socket) in simulated time, ring-buffer
+  capped like :class:`repro.net.trace.PacketTracer`.
+
+Command line::
+
+    python -m repro.obs --workload tcp_bulk --folded out.folded
+"""
+
+from .profiler import CpuHook, CpuProfiler, install_hook, uninstall_hook
+from .registry import (
+    Counter,
+    DuplicateMetricError,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from .schema import EXPORT_SCHEMA, undocumented_metrics
+from .spans import Span, SpanTracer
+from .wire import instrument_testbed
+
+__all__ = [
+    "Counter",
+    "CpuHook",
+    "CpuProfiler",
+    "DuplicateMetricError",
+    "EXPORT_SCHEMA",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "install_hook",
+    "instrument_testbed",
+    "undocumented_metrics",
+    "uninstall_hook",
+]

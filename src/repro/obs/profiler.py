@@ -1,0 +1,252 @@
+"""Simulated-CPU profiler: attribute every charged cycle to a stack.
+
+How interception works
+----------------------
+
+The cost-charging discipline funnels *every* charge -- including the
+hand-inlined hot-path variants in the dispatcher, the NIC drivers, and
+``Host.kernel_path`` -- through one of::
+
+    cpu.category_times[category] += microseconds
+    cpu.category_times[category] = microseconds
+
+Both go through ``dict.__setitem__``, so swapping ``category_times``
+for a recording subclass (:class:`_ProfilingTimes`) intercepts every
+charged microsecond without touching any call site.  Stack *frames*
+come from the off-by-default ``cpu.profile`` hook (:class:`CpuHook`),
+consulted by ``Host.kernel_path`` (the domain: interrupt body, syscall,
+timer callback), the dispatcher raise paths (the component: event
+name), and ``CPU.execute``.  With no profiler attached ``cpu.profile``
+is ``None`` and ``category_times`` is a plain dict -- the hot path is
+unchanged and simulated time is bit-identical (the equivalence test in
+``tests/test_obs.py`` enforces this).
+
+Attribution is therefore ``(host, domain, component..., operation)``
+where the operation is the charge category (``checksum``, ``dispatch``,
+``copy``, ``driver``, ...).  :meth:`CpuProfiler.folded_text` emits the
+Brendan Gregg folded-stack format (one ``frame;frame;... value`` line
+per stack, values in integer nanoseconds of simulated time) accepted by
+``flamegraph.pl``, speedscope, and friends.
+
+Exactness
+---------
+
+Per-category totals (:meth:`CpuProfiler.categories`) are read from the
+live ``category_times`` dicts, so they are *bit-exact* -- every charged
+microsecond is attributed.  :meth:`CpuProfiler.consumed_us` folds the
+per-path consumption amounts in the same order ``CPU.busy_time`` does,
+so it equals the summed busy time bit-exactly as well.  (The grand
+total of the categories and the busy time differ in the last float bit
+or two because they associate the same additions differently; see
+EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+__all__ = [
+    "CpuHook",
+    "CpuProfiler",
+    "install_hook",
+    "uninstall_hook",
+]
+
+
+class CpuHook:
+    """Per-CPU frame stack plus listener fan-out.
+
+    One hook per instrumented CPU; profilers and span tracers register
+    as listeners.  The hook is installed as ``cpu.profile`` (read by the
+    charge-path hook points) and owns the :class:`_ProfilingTimes`
+    swap-in for ``cpu.category_times``.
+    """
+
+    __slots__ = ("cpu", "host_name", "engine", "frames", "listeners")
+
+    def __init__(self, cpu, host_name: str):
+        self.cpu = cpu
+        self.host_name = host_name
+        self.engine = cpu.engine
+        self.frames: List[str] = []
+        self.listeners: List[object] = []
+
+    def push(self, label: str) -> None:
+        for listener in self.listeners:
+            listener.on_push(self, label)
+        self.frames.append(label)
+
+    def pop(self) -> None:
+        label = self.frames.pop()
+        for listener in self.listeners:
+            listener.on_pop(self, label)
+
+    def record(self, category: str, amount: float) -> None:
+        for listener in self.listeners:
+            listener.on_charge(self, category, amount)
+
+    def consumed(self, amount: float) -> None:
+        for listener in self.listeners:
+            listener.on_consume(self, amount)
+
+
+class _ProfilingTimes(dict):
+    """``category_times`` replacement reporting every charge to the hook."""
+
+    __slots__ = ("hook",)
+
+    def __init__(self, initial, hook: CpuHook):
+        dict.__init__(self, initial)
+        self.hook = hook
+
+    def __setitem__(self, key, value):
+        delta = value - self.get(key, 0.0)
+        if delta != 0.0:
+            self.hook.record(key, delta)
+        dict.__setitem__(self, key, value)
+
+
+def install_hook(cpu, host_name: str) -> CpuHook:
+    """Install (or fetch) the :class:`CpuHook` on ``cpu``."""
+    hook = cpu.profile
+    if hook is None:
+        hook = CpuHook(cpu, host_name)
+        cpu.profile = hook
+        cpu.category_times = _ProfilingTimes(cpu.category_times, hook)
+    return hook
+
+
+def uninstall_hook(cpu) -> None:
+    """Remove the hook once its last listener detaches.
+
+    Restores a plain dict (same contents) for ``category_times`` and
+    sets ``cpu.profile`` back to ``None``, so the hot path returns to
+    its uninstrumented shape.
+    """
+    hook = cpu.profile
+    if hook is not None and not hook.listeners:
+        cpu.profile = None
+        cpu.category_times = dict(cpu.category_times)
+
+
+def _sanitize(label: str) -> str:
+    """Folded-format frame labels may not contain ';' or whitespace."""
+    return label.replace(";", ":").replace(" ", "_")
+
+
+class CpuProfiler:
+    """Attributes charged simulated CPU time to (host, frames..., category).
+
+    Usage::
+
+        profiler = CpuProfiler()
+        profiler.attach(bed.hosts)
+        ... run the workload ...
+        profiler.detach()
+        open("out.folded", "w").write(profiler.folded_text())
+    """
+
+    def __init__(self, path_bounds=None):
+        #: (host, frame, frame, ..., category) -> charged microseconds
+        self.stacks: Dict[Tuple[str, ...], float] = {}
+        self._hooks: List[CpuHook] = []
+        self._consumed: Dict[CpuHook, float] = {}
+        self._open_path: Dict[CpuHook, float] = {}
+        #: optional histogram of per-kernel-path charged microseconds
+        self.path_histogram = None
+        if path_bounds is not None:
+            from .registry import Histogram
+
+            self.path_histogram = Histogram("obs.profiler.path_us", path_bounds)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def attach(self, hosts) -> "CpuProfiler":
+        for host in hosts:
+            hook = install_hook(host.cpu, host.name)
+            hook.listeners.append(self)
+            self._hooks.append(hook)
+            self._consumed.setdefault(hook, 0.0)
+        return self
+
+    def detach(self) -> None:
+        for hook in self._hooks:
+            hook.listeners.remove(self)
+            uninstall_hook(hook.cpu)
+
+    # -- listener interface ----------------------------------------------
+
+    def on_push(self, hook: CpuHook, label: str) -> None:
+        if not hook.frames:
+            self._open_path[hook] = 0.0
+
+    def on_pop(self, hook: CpuHook, label: str) -> None:
+        if not hook.frames and self.path_histogram is not None:
+            self.path_histogram.observe(self._open_path.pop(hook, 0.0))
+
+    def on_charge(self, hook: CpuHook, category: str, amount: float) -> None:
+        key = (hook.host_name, *hook.frames, category)
+        stacks = self.stacks
+        stacks[key] = stacks.get(key, 0.0) + amount
+        if hook in self._open_path:
+            self._open_path[hook] += amount
+
+    def on_consume(self, hook: CpuHook, amount: float) -> None:
+        # Folded in the exact order CPU.busy_time accumulates, so the
+        # per-host totals reconcile bit-exactly against busy_time.
+        self._consumed[hook] = self._consumed[hook] + amount
+
+    # -- results ---------------------------------------------------------
+
+    def categories(self) -> Dict[str, float]:
+        """Per-category charged totals, bit-exact, summed across hosts."""
+        totals: Dict[str, float] = {}
+        for hook in self._hooks:
+            for category, value in hook.cpu.category_times.items():
+                totals[category] = totals.get(category, 0.0) + value
+        return totals
+
+    def consumed_us(self) -> float:
+        """Total consumed CPU time; bit-equal to the summed busy_time."""
+        total = 0.0
+        for hook in self._hooks:
+            total += self._consumed[hook]
+        return total
+
+    def busy_us(self) -> float:
+        """The CPUs' own busy_time sum (the engine-reported number)."""
+        total = 0.0
+        for hook in self._hooks:
+            total += hook.cpu.busy_time
+        return total
+
+    def folded_lines(self) -> List[str]:
+        """Folded-stack lines, sorted; values are simulated nanoseconds."""
+        lines = []
+        for key in sorted(self.stacks):
+            nanoseconds = round(self.stacks[key] * 1000.0)
+            if nanoseconds <= 0:
+                continue
+            lines.append("%s %d" % (";".join(_sanitize(part) for part in key), nanoseconds))
+        return lines
+
+    def folded_text(self) -> str:
+        return "\n".join(self.folded_lines()) + "\n"
+
+    def report(self) -> Dict:
+        """JSON-able summary: per-host busy/consumed plus category totals."""
+        hosts = {}
+        for hook in self._hooks:
+            cpu = hook.cpu
+            hosts[hook.host_name] = {
+                "busy_us": cpu.busy_time,
+                "consumed_us": self._consumed[hook],
+                "uncontexted_charge_us": cpu.uncontexted_charge_us,
+                "categories": dict(sorted(cpu.category_times.items())),
+            }
+        return {
+            "hosts": hosts,
+            "categories": dict(sorted(self.categories().items())),
+            "busy_us": self.busy_us(),
+            "consumed_us": self.consumed_us(),
+        }

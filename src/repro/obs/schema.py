@@ -1,0 +1,68 @@
+"""The documented export schema: every metric the registry may publish.
+
+CI's ``obs`` job instruments both OS models and fails if a component
+registered a metric that is missing here (``--check-schema``), so the
+schema -- and the README namespace table generated from it -- can never
+silently drift behind the code.  The reverse is *not* checked: a bed
+legitimately registers a subset (the UNIX model has no dispatcher, a
+UDP-only bed has no TCP connections).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+__all__ = ["EXPORT_SCHEMA", "undocumented_metrics"]
+
+#: name -> (type, description).  Keep sorted by name.
+EXPORT_SCHEMA: Dict[str, tuple] = {
+    "hw.cpu.busy_us": ("gauge", "consumed CPU time across hosts (simulated us)"),
+    "hw.cpu.charged_us": ("gauge", "sum of per-category charged CPU time (simulated us)"),
+    "hw.cpu.consumed_slices": ("gauge", "completed cpu.consume() slices"),
+    "hw.cpu.uncontexted_charge_us": ("gauge", "try_charge time issued outside any context"),
+    "hw.cpu.uncontexted_charges": ("gauge", "try_charge calls issued outside any context"),
+    "hw.nic.rx_bytes": ("gauge", "frame bytes received"),
+    "hw.nic.rx_drops": ("gauge", "frames dropped: receive ring full"),
+    "hw.nic.rx_filtered": ("gauge", "frames seen on the wire but not addressed to us"),
+    "hw.nic.rx_frames": ("gauge", "frames received"),
+    "hw.nic.rx_pending": ("gauge", "frames sitting in receive rings"),
+    "hw.nic.tx_bytes": ("gauge", "frame bytes transmitted"),
+    "hw.nic.tx_frames": ("gauge", "frames transmitted"),
+    "net.tcp.checksum_errors": ("gauge", "TCP segments dropped on checksum"),
+    "net.tcp.connections": ("gauge", "live TCP connection blocks"),
+    "net.tcp.no_listener": ("gauge", "SYNs arriving with no listener bound"),
+    "net.tcp.resets_sent": ("gauge", "RST segments emitted"),
+    "net.tcp.segments_in": ("gauge", "TCP segments accepted by input processing"),
+    "net.tcp.segments_out": ("gauge", "TCP segments emitted"),
+    "net.udp.checksum_errors": ("gauge", "UDP datagrams dropped on checksum"),
+    "net.udp.checksums_skipped": ("gauge", "UDP datagrams accepted without checksum"),
+    "net.udp.datagrams_in": ("gauge", "UDP datagrams delivered upward"),
+    "net.udp.datagrams_out": ("gauge", "UDP datagrams emitted"),
+    "os.interrupts_handled": ("gauge", "NIC interrupts taken by the OS models"),
+    "sim.engine.events_processed": ("gauge", "events popped by the engine"),
+    "sim.engine.now_us": ("gauge", "simulated clock (us)"),
+    "sim.engine.pending": ("gauge", "events pending in heap + now-queue + wheel"),
+    "sim.wheel.fired_direct": ("gauge", "deadlines that bypassed the wheel buckets"),
+    "sim.wheel.occupied": ("gauge", "handles physically in wheel buckets (incl. cancelled)"),
+    "sim.wheel.pending": ("gauge", "live (non-cancelled) parked deadlines"),
+    "sim.wheel.scheduled": ("gauge", "deadlines ever parked on the wheel"),
+    "spin.dispatcher.events": ("gauge", "declared event names"),
+    "spin.dispatcher.raises": ("gauge", "event raises (linear or compiled)"),
+    "spin.dispatcher.invocations": ("gauge", "handler invocations"),
+    "spin.flowcache.capacity": ("gauge", "flow cache LRU capacity"),
+    "spin.flowcache.enabled": ("gauge", "flow caches enabled (1 per armed host)"),
+    "spin.flowcache.entries": ("gauge", "live flow cache entries"),
+    "spin.flowcache.evictions": ("gauge", "flow entries evicted by the LRU"),
+    "spin.flowcache.hits": ("gauge", "raises replayed from a compiled plan"),
+    "spin.flowcache.invalidations": ("gauge", "plans dropped on generation mismatch"),
+    "spin.flowcache.misses": ("gauge", "raises that walked the handler list"),
+    "spin.mbuf.allocated": ("gauge", "mbufs (chain links) ever allocated"),
+    "spin.mbuf.chains": ("gauge", "packet chains ever allocated"),
+    "spin.mbuf.freed": ("gauge", "mbufs freed"),
+    "spin.mbuf.in_use": ("gauge", "mbufs currently allocated minus freed"),
+}
+
+
+def undocumented_metrics(registry) -> List[str]:
+    """Registered names missing from :data:`EXPORT_SCHEMA` (want: empty)."""
+    return sorted(name for name in registry.names() if name not in EXPORT_SCHEMA)

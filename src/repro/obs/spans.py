@@ -1,0 +1,172 @@
+"""Span tracing: per-packet path timelines in simulated time.
+
+A :class:`SpanTracer` records one :class:`Span` per completed CPU frame
+(kernel path entry, dispatched event, executed closure) plus one per
+NIC frame transmit/receive, each stamped with the simulated time it
+began, its nesting depth, and the CPU microseconds charged *directly*
+inside it (self time -- children account for their own).  Together the
+records read as a timeline of the packet path the paper's Figure 5
+walks: NIC rx -> interrupt body -> dispatcher events -> protocol
+handlers -> socket delivery.
+
+Like :class:`repro.net.trace.PacketTracer`, the trace is a ring of at
+most ``limit`` records: the tail of a long run is always retained and
+``dropped_records`` counts the overwrites.  Frames are observed through
+the same :class:`~repro.obs.profiler.CpuHook` the profiler uses (and
+NIC taps use the same attach-time method wrapping PacketTracer uses),
+so attaching a tracer never perturbs simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .profiler import CpuHook, install_hook, uninstall_hook
+
+__all__ = ["Span", "SpanTracer"]
+
+
+class Span:
+    """One completed frame (or NIC event) on the simulated timeline."""
+
+    __slots__ = ("time", "host", "depth", "label", "kind", "charged_us")
+
+    def __init__(
+        self,
+        time: float,
+        host: str,
+        depth: int,
+        label: str,
+        kind: str,
+        charged_us: float,
+    ):
+        self.time = time
+        self.host = host
+        self.depth = depth
+        self.label = label
+        self.kind = kind  # "cpu" | "tx" | "rx"
+        self.charged_us = charged_us
+
+    def __repr__(self) -> str:
+        return "<Span %9.1f %s %s %s %.2fus>" % (
+            self.time,
+            self.host,
+            self.kind,
+            self.label,
+            self.charged_us,
+        )
+
+
+class SpanTracer:
+    """Ring-buffered timeline of CPU frames and NIC activity."""
+
+    def __init__(self, engine, limit: int = 4096):
+        if limit <= 0:
+            raise ValueError("span tracer limit must be positive")
+        self.engine = engine
+        self.limit = limit
+        self._ring: List[Span] = []
+        self._next = 0
+        self.dropped_records = 0
+        self._hooks: List[CpuHook] = []
+        self._open: Dict[CpuHook, List[List]] = {}
+        self._wrapped: List[tuple] = []
+
+    @property
+    def records(self) -> List[Span]:
+        """Retained spans, oldest first (a fresh list)."""
+        if len(self._ring) < self.limit or self._next == 0:
+            return list(self._ring)
+        cut = self._next
+        return self._ring[cut:] + self._ring[:cut]
+
+    # -- attachment ------------------------------------------------------
+
+    def attach(self, hosts, nics=()) -> "SpanTracer":
+        for host in hosts:
+            hook = install_hook(host.cpu, host.name)
+            hook.listeners.append(self)
+            self._hooks.append(hook)
+            self._open[hook] = []
+        for nic in nics:
+            self._tap_nic(nic)
+        return self
+
+    def detach(self) -> None:
+        for hook in self._hooks:
+            hook.listeners.remove(self)
+            uninstall_hook(hook.cpu)
+        for nic, original_stage, original_rx in self._wrapped:
+            nic.stage_tx = original_stage
+            nic.frame_on_wire = original_rx
+        self._wrapped = []
+
+    def _tap_nic(self, nic) -> None:
+        tracer = self
+        original_stage = nic.stage_tx
+        original_rx = nic.frame_on_wire
+
+        def traced_stage(data, dst_addr):
+            host = nic.host.name if nic.host is not None else nic.name
+            tracer._record(Span(tracer.engine.now, host, 0, nic.name, "tx", 0.0))
+            return original_stage(data, dst_addr)
+
+        def traced_rx(frame):
+            host = nic.host.name if nic.host is not None else nic.name
+            tracer._record(Span(tracer.engine.now, host, 0, nic.name, "rx", 0.0))
+            return original_rx(frame)
+
+        nic.stage_tx = traced_stage
+        nic.frame_on_wire = traced_rx
+        self._wrapped.append((nic, original_stage, original_rx))
+
+    # -- listener interface ----------------------------------------------
+
+    def on_push(self, hook: CpuHook, label: str) -> None:
+        # [start time, label, depth, self-charge accumulator]
+        self._open[hook].append([self.engine.now, label, len(hook.frames), 0.0])
+
+    def on_pop(self, hook: CpuHook, label: str) -> None:
+        start, opened_label, depth, charged = self._open[hook].pop()
+        self._record(Span(start, hook.host_name, depth, opened_label, "cpu", charged))
+
+    def on_charge(self, hook: CpuHook, category: str, amount: float) -> None:
+        open_frames = self._open[hook]
+        if open_frames:
+            open_frames[-1][3] += amount
+
+    def on_consume(self, hook: CpuHook, amount: float) -> None:
+        pass
+
+    # -- recording / rendering -------------------------------------------
+
+    def _record(self, span: Span) -> None:
+        if len(self._ring) < self.limit:
+            self._ring.append(span)
+        else:
+            self._ring[self._next] = span
+            self._next = (self._next + 1) % self.limit
+            self.dropped_records += 1
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self._next = 0
+        self.dropped_records = 0
+
+    def render(self, last: Optional[int] = None) -> str:
+        """Timeline text; spans appear in completion order, depth-indented."""
+        records = self.records
+        if last is not None:
+            records = records[-last:]
+        lines = []
+        for span in records:
+            if span.kind == "cpu":
+                detail = "%s (%.2fus)" % (span.label, span.charged_us)
+            else:
+                detail = "%s %s" % (span.kind, span.label)
+            lines.append("%10.1f  %-10s %s%s" % (span.time, span.host, "  " * span.depth, detail))
+        if self.dropped_records:
+            lines.append(
+                "... %d spans dropped (ring limit %d)" % (self.dropped_records, self.limit)
+            )
+        return "\n".join(lines)

@@ -596,3 +596,27 @@ class Engine:
         if self._wheel is not None:
             count += self._wheel._live
         return count
+
+    def register_metrics(self, registry) -> None:
+        """Publish engine + timer-wheel counters on a metrics registry.
+
+        The wheel sources read through ``self._wheel`` at snapshot time,
+        so they stay correct even when the wheel is created lazily after
+        registration.
+        """
+        registry.source("sim.engine.events_processed",
+                        lambda: self.events_processed)
+        registry.source("sim.engine.pending", self.pending_count)
+        registry.source("sim.engine.now_us", lambda: self.now)
+        registry.source(
+            "sim.wheel.pending",
+            lambda: self._wheel.pending if self._wheel is not None else 0)
+        registry.source(
+            "sim.wheel.occupied",
+            lambda: self._wheel.occupied if self._wheel is not None else 0)
+        registry.source(
+            "sim.wheel.scheduled",
+            lambda: self._wheel.scheduled if self._wheel is not None else 0)
+        registry.source(
+            "sim.wheel.fired_direct",
+            lambda: self._wheel.fired_direct if self._wheel is not None else 0)

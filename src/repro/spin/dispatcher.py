@@ -142,6 +142,14 @@ class Dispatcher:
         self.total_invocations = 0
         self.flow_cache = FlowCache()
 
+    def register_metrics(self, registry) -> None:
+        """Publish dispatcher + flow-cache counters on a metrics registry."""
+        registry.source("spin.dispatcher.raises", lambda: self.total_raises)
+        registry.source("spin.dispatcher.invocations",
+                        lambda: self.total_invocations)
+        registry.source("spin.dispatcher.events", lambda: len(self.events))
+        self.flow_cache.register_metrics(registry)
+
     def invalidate_event(self, event: EventDecl) -> None:
         """Invalidate every compiled flow plan recorded for ``event``.
 
@@ -205,71 +213,81 @@ class Dispatcher:
         event.raise_count += 1
         self.total_raises += 1
         matched = 0
+        # Off-by-default observability hook (repro.obs): one attribute
+        # load + None check per raise when no profiler is attached.
+        profile = cpu.profile
+        if profile is not None:
+            profile.push(event.name)
         # The snapshot is the cached scan; it only changes on
         # install/uninstall, so the common raise allocates nothing.
         # cpu.charge / begin / end / recharge are inlined below (exact
         # bodies, exact order): at one dispatch per simulated packet hop
         # the call frames themselves dominate host-side dispatch time.
-        for handle in snapshot:
-            if not handle.installed:
-                continue
-            guard = handle.guard
-            if guard is not None:
+        try:
+            for handle in snapshot:
+                if not handle.installed:
+                    continue
+                guard = handle.guard
+                if guard is not None:
+                    if not stack:
+                        raise ChargeError(
+                            "cpu.charge() outside begin()/end(); protocol "
+                            "code must run under a kernel execution context")
+                    stack[-1] += guard_cost
+                    try:
+                        times["dispatch"] += guard_cost
+                    except KeyError:
+                        times["dispatch"] = guard_cost
+                    try:
+                        if not guard(*args):
+                            handle.guard_rejections += 1
+                            continue
+                    except Exception as exc:  # guard failure: no match
+                        handle.failures += 1
+                        handle.last_error = exc
+                        continue
+                matched += 1
                 if not stack:
                     raise ChargeError(
                         "cpu.charge() outside begin()/end(); protocol code "
                         "must run under a kernel execution context")
-                stack[-1] += guard_cost
+                stack[-1] += handler_cost
                 try:
-                    times["dispatch"] += guard_cost
+                    times["dispatch"] += handler_cost
                 except KeyError:
-                    times["dispatch"] = guard_cost
+                    times["dispatch"] = handler_cost
+                if handle.mode == "thread":
+                    self._delegate_to_thread(handle, args)
+                    continue
+                # Inline delivery (the body of _invoke_inline, flattened
+                # into the loop: one call frame per handler is measurable
+                # here).
+                handle.invocations += 1
+                self.total_invocations += 1
+                stack.append(0.0)
+                marker = len(stack)
                 try:
-                    if not guard(*args):
-                        handle.guard_rejections += 1
-                        continue
-                except Exception as exc:  # guard failure = no match, counted
+                    handle.handler(*args)
+                except Exception as exc:  # containment: may not crash kernel
                     handle.failures += 1
                     handle.last_error = exc
-                    continue
-            matched += 1
-            if not stack:
-                raise ChargeError(
-                    "cpu.charge() outside begin()/end(); protocol code "
-                    "must run under a kernel execution context")
-            stack[-1] += handler_cost
-            try:
-                times["dispatch"] += handler_cost
-            except KeyError:
-                times["dispatch"] = handler_cost
-            if handle.mode == "thread":
-                self._delegate_to_thread(handle, args)
-                continue
-            # Inline delivery (the body of _invoke_inline, flattened into
-            # the loop: one call frame per handler is measurable here).
-            handle.invocations += 1
-            self.total_invocations += 1
-            stack.append(0.0)
-            marker = len(stack)
-            try:
-                handle.handler(*args)
-            except Exception as exc:  # containment: may not crash kernel
-                handle.failures += 1
-                handle.last_error = exc
-            finally:
-                if marker != len(stack):
-                    raise ChargeError(
-                        "mismatched cpu.end(): marker %d but stack depth %d"
-                        % (marker, len(stack)))
-                spent = stack.pop()
-            limit = handle.time_limit
-            if limit is not None and spent > limit:
-                # Premature termination: only the allotment is consumed
-                # (paper sec. 3.3).
-                handle.terminations += 1
-                stack[-1] += limit
-            else:
-                stack[-1] += spent
+                finally:
+                    if marker != len(stack):
+                        raise ChargeError(
+                            "mismatched cpu.end(): marker %d but stack depth "
+                            "%d" % (marker, len(stack)))
+                    spent = stack.pop()
+                limit = handle.time_limit
+                if limit is not None and spent > limit:
+                    # Premature termination: only the allotment is consumed
+                    # (paper sec. 3.3).
+                    handle.terminations += 1
+                    stack[-1] += limit
+                else:
+                    stack[-1] += spent
+        finally:
+            if profile is not None:
+                profile.pop()
         return matched
 
     # -- flow-cached raising ------------------------------------------------------
@@ -318,48 +336,55 @@ class Dispatcher:
         event.raise_count += 1
         self.total_raises += 1
         matched = 0
-        for handle, ok in steps:
-            if not handle.installed:
-                continue
-            if handle.guard is not None:
-                stack[-1] += guard_cost
-                try:
-                    times["dispatch"] += guard_cost
-                except KeyError:
-                    times["dispatch"] = guard_cost
-                if not ok:
-                    handle.guard_rejections += 1
+        profile = cpu.profile
+        if profile is not None:
+            profile.push(event.name)
+        try:
+            for handle, ok in steps:
+                if not handle.installed:
                     continue
-            matched += 1
-            stack[-1] += handler_cost
-            try:
-                times["dispatch"] += handler_cost
-            except KeyError:
-                times["dispatch"] = handler_cost
-            if handle.mode == "thread":
-                self._delegate_to_thread(handle, args)
-                continue
-            handle.invocations += 1
-            self.total_invocations += 1
-            stack.append(0.0)
-            marker = len(stack)
-            try:
-                handle.handler(*args)
-            except Exception as exc:  # containment: may not crash kernel
-                handle.failures += 1
-                handle.last_error = exc
-            finally:
-                if marker != len(stack):
-                    raise ChargeError(
-                        "mismatched cpu.end(): marker %d but stack depth %d"
-                        % (marker, len(stack)))
-                spent = stack.pop()
-            limit = handle.time_limit
-            if limit is not None and spent > limit:
-                handle.terminations += 1
-                stack[-1] += limit
-            else:
-                stack[-1] += spent
+                if handle.guard is not None:
+                    stack[-1] += guard_cost
+                    try:
+                        times["dispatch"] += guard_cost
+                    except KeyError:
+                        times["dispatch"] = guard_cost
+                    if not ok:
+                        handle.guard_rejections += 1
+                        continue
+                matched += 1
+                stack[-1] += handler_cost
+                try:
+                    times["dispatch"] += handler_cost
+                except KeyError:
+                    times["dispatch"] = handler_cost
+                if handle.mode == "thread":
+                    self._delegate_to_thread(handle, args)
+                    continue
+                handle.invocations += 1
+                self.total_invocations += 1
+                stack.append(0.0)
+                marker = len(stack)
+                try:
+                    handle.handler(*args)
+                except Exception as exc:  # containment: may not crash kernel
+                    handle.failures += 1
+                    handle.last_error = exc
+                finally:
+                    if marker != len(stack):
+                        raise ChargeError(
+                            "mismatched cpu.end(): marker %d but stack depth "
+                            "%d" % (marker, len(stack)))
+                    spent = stack.pop()
+                limit = handle.time_limit
+                if limit is not None and spent > limit:
+                    handle.terminations += 1
+                    stack[-1] += limit
+                else:
+                    stack[-1] += spent
+        finally:
+            if profile is not None:
+                profile.pop()
         return matched
 
     def _record_plan(self, event: EventDecl, flow: FlowEntry, args) -> int:
@@ -382,43 +407,50 @@ class Dispatcher:
         matched = 0
         steps = []
         cacheable = True
-        for handle in snapshot:
-            if not handle.installed:
-                continue
-            guard = handle.guard
-            if guard is not None:
-                charge(guard_cost, "dispatch")
-                try:
-                    if not guard(*args):
-                        handle.guard_rejections += 1
-                        steps.append((handle, False))
+        profile = cpu.profile
+        if profile is not None:
+            profile.push(event.name)
+        try:
+            for handle in snapshot:
+                if not handle.installed:
+                    continue
+                guard = handle.guard
+                if guard is not None:
+                    charge(guard_cost, "dispatch")
+                    try:
+                        if not guard(*args):
+                            handle.guard_rejections += 1
+                            steps.append((handle, False))
+                            continue
+                    except Exception as exc:  # guard failure: no match
+                        handle.failures += 1
+                        handle.last_error = exc
+                        cacheable = False
                         continue
-                except Exception as exc:  # guard failure = no match, counted
+                matched += 1
+                steps.append((handle, True))
+                charge(handler_cost, "dispatch")
+                if handle.mode == "thread":
+                    self._delegate_to_thread(handle, args)
+                    continue
+                handle.invocations += 1
+                self.total_invocations += 1
+                marker = cpu.begin()
+                try:
+                    handle.handler(*args)
+                except Exception as exc:  # containment: may not crash kernel
                     handle.failures += 1
                     handle.last_error = exc
-                    cacheable = False
-                    continue
-            matched += 1
-            steps.append((handle, True))
-            charge(handler_cost, "dispatch")
-            if handle.mode == "thread":
-                self._delegate_to_thread(handle, args)
-                continue
-            handle.invocations += 1
-            self.total_invocations += 1
-            marker = cpu.begin()
-            try:
-                handle.handler(*args)
-            except Exception as exc:  # containment: may not crash kernel
-                handle.failures += 1
-                handle.last_error = exc
-            finally:
-                spent = cpu.end(marker)
-            if handle.time_limit is not None and spent > handle.time_limit:
-                handle.terminations += 1
-                cpu.recharge(handle.time_limit)
-            else:
-                cpu.recharge(spent)
+                finally:
+                    spent = cpu.end(marker)
+                if handle.time_limit is not None and spent > handle.time_limit:
+                    handle.terminations += 1
+                    cpu.recharge(handle.time_limit)
+                else:
+                    cpu.recharge(spent)
+        finally:
+            if profile is not None:
+                profile.pop()
         if cacheable and event.generation == generation:
             flow.plans[event] = CompiledPlan(generation, tuple(steps))
         return matched

@@ -158,6 +158,17 @@ class FlowCache:
             "evictions": self.evictions,
         }
 
+    def register_metrics(self, registry) -> None:
+        """Publish the cache counters on a metrics registry."""
+        registry.source("spin.flowcache.enabled", lambda: int(self.enabled))
+        registry.source("spin.flowcache.capacity", lambda: self.capacity)
+        registry.source("spin.flowcache.entries", lambda: len(self.entries))
+        registry.source("spin.flowcache.hits", lambda: self.hits)
+        registry.source("spin.flowcache.misses", lambda: self.misses)
+        registry.source("spin.flowcache.invalidations",
+                        lambda: self.invalidations)
+        registry.source("spin.flowcache.evictions", lambda: self.evictions)
+
     def __repr__(self) -> str:
         return "<FlowCache %d entries hits=%d misses=%d inval=%d>" % (
             len(self.entries), self.hits, self.misses, self.invalidations)

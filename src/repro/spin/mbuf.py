@@ -433,3 +433,10 @@ class MbufPool:
         self.host.cpu.charge(count * self.host.costs.mbuf_free, "mbuf")
         self.freed += count
         m.free()
+
+    def register_metrics(self, registry) -> None:
+        """Publish the allocator counters on a metrics registry."""
+        registry.source("spin.mbuf.allocated", lambda: self.allocated)
+        registry.source("spin.mbuf.chains", lambda: self.chains)
+        registry.source("spin.mbuf.freed", lambda: self.freed)
+        registry.source("spin.mbuf.in_use", lambda: self.allocated - self.freed)

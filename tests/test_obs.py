@@ -1,0 +1,272 @@
+"""Tests for repro.obs: registry, CPU profiler, span tracer, schema, wiring.
+
+The two load-bearing guarantees:
+
+* **Zero perturbation when off** -- attaching nothing leaves every
+  simulated-time fingerprint bit-identical (the profiler equivalence
+  test runs the same workload with and without instrumentation and
+  compares fingerprints with ``==``, no tolerance).
+* **Exact accounting when on** -- per-category totals are bit-equal to
+  the CPU's own ``category_times`` and the profiler's consumed-time fold
+  is bit-equal to summed ``busy_time`` across hosts.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bench.testbed import build_testbed
+from repro.bench.wallclock import run_workload
+from repro.obs import (
+    CpuProfiler, DuplicateMetricError, MetricError, MetricsRegistry,
+    SpanTracer, install_hook, instrument_testbed, uninstall_hook,
+    undocumented_metrics)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_counter_inc_and_read(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.hits", "hits")
+        c.inc()
+        c.inc(3)
+        assert c.read() == 4
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_names_must_be_dotted_lowercase(self):
+        reg = MetricsRegistry()
+        for bad in ("plain", "Upper.case", "a..b", "a.b-c", "", "a.b."):
+            with pytest.raises(MetricError):
+                reg.counter(bad)
+
+    def test_duplicate_name_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b", "first")
+        with pytest.raises(DuplicateMetricError):
+            reg.counter("a.b", "again")
+        with pytest.raises(DuplicateMetricError):
+            reg.histogram("a.b", bounds=[1.0])
+
+    def test_source_aggregates_across_registrations(self):
+        # Per-host rollup: registering the same gauge name with another
+        # source fn sums the sources (hw.cpu.busy_us over N hosts).
+        reg = MetricsRegistry()
+        reg.source("hw.x.total", lambda: 2.0)
+        reg.source("hw.x.total", lambda: 3.0)
+        assert reg.get("hw.x.total").read() == 5.0
+        reg.counter("hw.x.count")
+        with pytest.raises(DuplicateMetricError):
+            reg.source("hw.x.count", lambda: 0)
+
+    def test_disabled_registry_declares_but_null_instruments(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("a.b", "documented even when disabled")
+        c.inc(10)
+        assert c.read() == 0
+        assert "a.b" in reg
+        assert reg.snapshot() == {}
+
+    def test_snapshot_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("a.c", "c").inc(7)
+        reg.gauge("a.g", "g").set(1.5)
+        h = reg.histogram("a.h", bounds=[1.0, 10.0], description="h")
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        decoded = json.loads(reg.to_json())
+        assert decoded == reg.snapshot()
+        assert decoded["a.c"] == {"type": "counter", "value": 7}
+        assert decoded["a.g"]["value"] == 1.5
+        assert decoded["a.h"]["value"]["counts"] == [1, 1, 1]
+        assert decoded["a.h"]["value"]["count"] == 3
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricError):
+            reg.histogram("a.h", bounds=[1.0, 1.0])
+        with pytest.raises(MetricError):
+            reg.histogram("a.h2", bounds=[5.0, 1.0])
+        with pytest.raises(MetricError):
+            reg.histogram("a.h3", bounds=[])
+
+
+class TestHistogramProperties:
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9,
+                              allow_nan=False), max_size=200))
+    def test_counts_partition_observations(self, values):
+        reg = MetricsRegistry()
+        h = reg.histogram("p.h", bounds=[-10.0, 0.0, 10.0])
+        for v in values:
+            h.observe(v)
+        r = h.read()
+        assert sum(r["counts"]) == r["count"] == len(values)
+        assert len(r["counts"]) == len(r["bounds"]) + 1
+        assert r["sum"] == pytest.approx(sum(values), rel=1e-9, abs=1e-6)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0,
+                              allow_nan=False), min_size=1, max_size=50))
+    def test_bucket_assignment_monotone(self, values):
+        # An observation lands in bucket i iff bounds[i-1] <= v < bounds[i]:
+        # recomputing membership per bucket must reproduce the counts.
+        bounds = [10.0, 20.0, 50.0]
+        reg = MetricsRegistry()
+        h = reg.histogram("p.m", bounds=bounds)
+        for v in values:
+            h.observe(v)
+        edges = [float("-inf")] + bounds + [float("inf")]
+        expected = [sum(1 for v in values if edges[i] <= v < edges[i + 1])
+                    for i in range(len(edges) - 1)]
+        assert h.read()["counts"] == expected
+
+
+# ---------------------------------------------------------------------------
+# profiler
+# ---------------------------------------------------------------------------
+
+def _profiled_run(name):
+    """Run a quick workload with a profiler attached; returns (record, prof)."""
+    state = {}
+
+    def instrument(bed):
+        prof = CpuProfiler()
+        prof.attach(bed.hosts)
+        state["profiler"] = prof
+
+    record = run_workload(name, quick=True, instrument=instrument)
+    return record, state["profiler"]
+
+
+class TestProfiler:
+    def test_off_by_default_fingerprints_identical(self):
+        plain = run_workload("udp_pingpong", quick=True)
+        profiled, _ = _profiled_run("udp_pingpong")
+        assert profiled["fingerprint"] == plain["fingerprint"]
+        assert profiled["metrics"] == plain["metrics"]
+
+    def test_categories_bit_exact_and_busy_reconciles(self):
+        _, prof = _profiled_run("udp_pingpong")
+        merged = {}
+        for hook in prof._hooks:
+            for category, amount in hook.cpu.category_times.items():
+                merged[category] = merged.get(category, 0.0) + amount
+        assert prof.categories() == merged
+        # The consumed-time fold replays busy_time's float additions in
+        # the same order, so the reconciliation is exact, not approximate.
+        assert prof.consumed_us() == prof.busy_us()
+        assert sum(prof.categories().values()) == pytest.approx(
+            prof.busy_us(), rel=1e-12)
+
+    def test_folded_output_deterministic(self):
+        _, first = _profiled_run("udp_pingpong")
+        _, second = _profiled_run("udp_pingpong")
+        text = first.folded_text()
+        assert text == second.folded_text()
+        assert text.splitlines() == sorted(text.splitlines())
+        for line in text.splitlines():
+            stack, value = line.rsplit(" ", 1)
+            assert int(value) > 0
+            assert stack.split(";")[0].startswith("spin-h")
+
+    def test_folded_has_paper_categories(self):
+        _, prof = _profiled_run("tcp_bulk")
+        categories = {line.rsplit(" ", 1)[0].split(";")[-1]
+                      for line in prof.folded_lines()}
+        for wanted in ("checksum", "dispatch", "copy"):
+            assert wanted in categories
+        assert categories & {"driver", "driver-pio"}
+
+    def test_detach_restores_plain_dict(self):
+        bed = build_testbed("spin", "ethernet")
+        prof = CpuProfiler()
+        prof.attach(bed.hosts)
+        cpu = bed.hosts[0].cpu
+        assert cpu.profile is not None
+        assert type(cpu.category_times) is not dict
+        prof.detach()
+        assert cpu.profile is None
+        assert type(cpu.category_times) is dict
+
+    def test_install_uninstall_preserves_times(self):
+        bed = build_testbed("spin", "ethernet")
+        cpu = bed.hosts[0].cpu
+        cpu.category_times["protocol"] = 4.5
+        install_hook(cpu, "h")
+        assert cpu.category_times["protocol"] == 4.5
+        cpu.category_times["protocol"] += 1.0
+        uninstall_hook(cpu)
+        assert cpu.category_times["protocol"] == 5.5
+
+
+# ---------------------------------------------------------------------------
+# span tracer
+# ---------------------------------------------------------------------------
+
+class TestSpanTracer:
+    def _run(self, limit=4096):
+        state = {}
+
+        def instrument(bed):
+            tracer = SpanTracer(bed.engine, limit=limit)
+            tracer.attach(bed.hosts, nics=bed.nics)
+            state["tracer"] = tracer
+
+        record = run_workload("udp_pingpong", quick=True,
+                              instrument=instrument)
+        return record, state["tracer"]
+
+    def test_records_cpu_and_wire_spans(self):
+        record, tracer = self._run()
+        kinds = {span.kind for span in tracer.records}
+        assert kinds >= {"cpu", "tx", "rx"}
+        text = tracer.render(last=40)
+        assert "us" in text and len(text.splitlines()) == 40
+
+    def test_ring_buffer_caps_memory(self):
+        _, tracer = self._run(limit=32)
+        assert len(tracer.records) == 32
+        assert tracer.dropped_records > 0
+
+    def test_zero_perturbation(self):
+        plain = run_workload("udp_pingpong", quick=True)
+        record, _ = self._run()
+        assert record["fingerprint"] == plain["fingerprint"]
+
+
+# ---------------------------------------------------------------------------
+# schema + wiring
+# ---------------------------------------------------------------------------
+
+class TestSchemaAndWiring:
+    @pytest.mark.parametrize("os_name", ["spin", "unix"])
+    def test_every_registered_metric_documented(self, os_name):
+        bed = build_testbed(os_name, "ethernet")
+        registry = instrument_testbed(bed)
+        assert undocumented_metrics(registry) == []
+
+    def test_wallclock_records_carry_metrics(self):
+        record = run_workload("dispatcher_micro", quick=True)
+        metrics = record["metrics"]
+        assert metrics["spin.dispatcher.raises"]["value"] == record["scale"]
+
+    def test_chaos_verdict_carries_metrics(self):
+        from repro.chaos import build_quick_corpus, run_campaign
+        spec = build_quick_corpus(count=1)[0]
+        verdict = run_campaign(spec)
+        assert "metrics" in verdict
+        assert any(name.startswith("sim.engine.")
+                   for name in verdict["metrics"])
+
+    def test_snapshot_matches_component_counters(self):
+        bed = build_testbed("spin", "ethernet")
+        registry = instrument_testbed(bed)
+        snap = registry.snapshot()
+        total_tx = sum(nic.tx_frames for nic in bed.nics)
+        assert snap["hw.nic.tx_frames"]["value"] == total_tx
+        assert snap["sim.engine.events_processed"]["value"] == (
+            bed.engine.events_processed)
