@@ -39,6 +39,10 @@ def _wallclock(quick: bool, jobs: int = 1) -> int:
     from .wallclock import run_suite, write_report
     suite = run_suite(quick=quick, repeats=3, jobs=jobs)
     path = write_report(suite)
+    host = suite.get("host", {})
+    print("host: %s %s on %s %s\n"
+          % (host.get("implementation", "?"), host.get("python", "?"),
+             host.get("machine", "?"), host.get("system", "?")))
     failed = False
     for name in sorted(suite["workloads"]):
         record = suite["workloads"][name]
@@ -55,15 +59,28 @@ def _wallclock(quick: bool, jobs: int = 1) -> int:
                   % (cache.get("hits", 0), cache.get("misses", 0),
                      cache.get("invalidations", 0),
                      cache.get("evictions", 0), cache.get("entries", 0)))
+            if cache.get("compiled_enabled"):
+                print("  codegen: %d plans / %d scans compiled, "
+                      "%d plan replays / %d scan raises served, "
+                      "%d shape reuses"
+                      % (cache.get("compiled_plans", 0),
+                         cache.get("compiled_scans", 0),
+                         cache.get("compiled_replays", 0),
+                         cache.get("compiled_scan_raises", 0),
+                         cache.get("compiled_shape_hits", 0)))
+            else:
+                print("  codegen: disabled (REPRO_FLOW_COMPILE=0)")
         elif cache is not None:
             print("  flow-cache: disabled (REPRO_FLOW_CACHE=0)")
         for warning in row.get("warnings", ()):
             print("  WARN: %s" % warning)
         for error in row.get("errors", ()):
             print("  ERROR: %s" % error)
+        if not row.get("ok", True):
             failed = True
     print("\nreport written to %s" % path)
-    # Fingerprint drift (simulated time changed) fails; slowdowns only warn.
+    # Fails on fingerprint drift (simulated time changed) and on same-run
+    # prechange regressions; committed-baseline slowdowns only warn.
     return 1 if failed else 0
 
 

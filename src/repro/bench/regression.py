@@ -15,30 +15,58 @@ import os
 from typing import Dict, List
 
 __all__ = ["GOLDEN", "check_all", "check_one", "wallclock_smoke",
-           "bench_warn_pct", "DEFAULT_WARN_PCT"]
+           "bench_warn_pct", "bench_fail_pct",
+           "DEFAULT_WARN_PCT", "DEFAULT_FAIL_PCT"]
 
-#: default wall-clock slowdown warning threshold, in percent.
+#: default wall-clock slowdown warning threshold, in percent (versus the
+#: committed baseline -- possibly another machine, so warning is all it
+#: can honestly do).
 DEFAULT_WARN_PCT = 20.0
+
+#: default wall-clock slowdown *failure* threshold, in percent, versus
+#: the same-run ``REPRO_FLOW_COMPILE=0`` prechange leg -- same machine,
+#: same process, so a regression there is attributable to the code.
+DEFAULT_FAIL_PCT = 20.0
+
+
+def _pct_env(var: str, default: float) -> float:
+    """A percentage threshold from the environment, defensively parsed.
+
+    Invalid or negative values fall back to the default rather than
+    erroring: the benchmark harness should never die because of a typo
+    in CI config.
+    """
+    raw = os.environ.get(var, "")
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    if value < 0:
+        return default
+    return value
 
 
 def bench_warn_pct() -> float:
     """Wall-clock slowdown warning threshold, in percent.
 
     ``REPRO_BENCH_WARN_PCT`` overrides the default (e.g. ``35`` on a
-    noisy shared CI runner, ``5`` on a quiet dedicated box).  Invalid or
-    negative values fall back to the default rather than erroring: the
-    benchmark harness should never die because of a typo in CI config.
+    noisy shared CI runner, ``5`` on a quiet dedicated box).
     """
-    raw = os.environ.get("REPRO_BENCH_WARN_PCT", "")
-    if not raw:
-        return DEFAULT_WARN_PCT
-    try:
-        value = float(raw)
-    except ValueError:
-        return DEFAULT_WARN_PCT
-    if value < 0:
-        return DEFAULT_WARN_PCT
-    return value
+    return _pct_env("REPRO_BENCH_WARN_PCT", DEFAULT_WARN_PCT)
+
+
+def bench_fail_pct() -> float:
+    """Wall-clock same-run regression failure threshold, in percent.
+
+    ``REPRO_BENCH_FAIL_PCT`` overrides the default.  Applied to the
+    current-vs-prechange ratio within one report (see
+    ``repro.bench.wallclock.compare_to_baseline``); unlike the warning
+    threshold this one gates, because both legs ran on the same host in
+    the same process.
+    """
+    return _pct_env("REPRO_BENCH_FAIL_PCT", DEFAULT_FAIL_PCT)
 
 
 def _fig5(device: str, system: str, **kwargs):
@@ -126,11 +154,13 @@ def wallclock_smoke() -> List[Dict]:
     """Quick wall-clock suite vs the committed baseline, as check rows.
 
     Same row shape as :func:`check_all` so ``--check`` can print one
-    table.  ``ok`` is False only on simulated-time fingerprint drift;
-    events/sec below the slowdown threshold (``REPRO_BENCH_WARN_PCT``,
-    default 20%) sets ``warned`` but leaves ``ok`` True, because
-    host-side throughput is not a golden number -- it varies with
-    machine load.
+    table.  ``ok`` is False on simulated-time fingerprint drift (against
+    the committed baseline or the same-run ``REPRO_FLOW_COMPILE=0``
+    leg) and on a same-run prechange regression past
+    ``REPRO_BENCH_FAIL_PCT`` (default 20%).  Events/sec below the
+    *committed* baseline only sets ``warned``: that comparison may span
+    machines, so host-side throughput against it is not a golden
+    number.
     """
     from .wallclock import compare_to_baseline, load_baseline, run_suite
 

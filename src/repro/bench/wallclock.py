@@ -39,6 +39,7 @@ from __future__ import annotations
 import gc
 import json
 import os
+import platform
 import time
 from typing import Dict, List, Optional
 
@@ -48,6 +49,7 @@ __all__ = [
     "run_suite",
     "fingerprints_only",
     "compare_to_baseline",
+    "host_fingerprint",
     "write_report",
     "REPORT_SCHEMA_VERSION",
     "REPORT_FILENAME",
@@ -62,11 +64,16 @@ __all__ = [
 #: full ``repro.obs`` registry snapshot of the workload's testbed, taken
 #: after the timed region.  Every workload builds a fresh testbed whose
 #: counters start at zero, so the snapshot *is* the registry delta for
-#: that workload.  The report deliberately records nothing about *how*
-#: it was produced beyond ``generated_by``: a parallel run
-#: (``repro.bench.runner``, ``--jobs N``) must emit the byte-identical
-#: file a serial run does.
-REPORT_SCHEMA_VERSION = 4
+#: that workload.  Schema 5 adds the ``host`` fingerprint (CPU / python
+#: version, so cross-machine drift is labeled instead of silently
+#: warned), the flow-cache ``compiled_*`` counters, and the ``prechange``
+#: section: a second, same-process run of every codegen-enabled workload
+#: under ``REPRO_FLOW_COMPILE=0``, which is what the comparison gate
+#: *fails* on -- same machine, same run, no cross-host noise.  The
+#: report deliberately records nothing else about *how* it was produced
+#: beyond ``generated_by``: a parallel run (``repro.bench.runner``,
+#: ``--jobs N``) must emit the byte-identical file a serial run does.
+REPORT_SCHEMA_VERSION = 5
 REPORT_FILENAME = "BENCH_wallclock.json"
 
 #: repo-root and committed-baseline locations, resolved relative to this file
@@ -92,7 +99,7 @@ def _flow_cache_counters(hosts) -> Dict:
     total: Dict = {}
     for host in hosts:
         for key, value in host.dispatcher.flow_cache.counters().items():
-            if key == "enabled":
+            if key in ("enabled", "compiled_enabled"):
                 total[key] = bool(total.get(key)) or value
             else:
                 total[key] = total.get(key, 0) + value
@@ -470,13 +477,48 @@ WORKLOADS: Dict[str, tuple] = {
     "many_flows": (_many_flows, 2_000, 6_000),
 }
 
+#: workloads with a SPIN dispatcher in the loop: exactly these behave
+#: differently under ``REPRO_FLOW_COMPILE`` / ``REPRO_FLOW_CACHE`` and
+#: get a same-run prechange twin.  ``many_flows`` runs the UNIX model,
+#: where the modes are indistinguishable.
+COMPILED_WORKLOADS = ("dispatcher_micro", "tcp_bulk", "udp_pingpong")
+
 
 # ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 
+def host_fingerprint() -> Dict[str, str]:
+    """Identify the machine a report was produced on.
+
+    Wall-clock throughput is a property of (code, host) -- the committed
+    baseline's events/sec mean nothing on different hardware.  Recording
+    the host lets :func:`compare_to_baseline` label cross-machine drift
+    as informational instead of silently warning about it.
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "system": platform.system(),
+    }
+
+
+#: environment overrides per benchmark mode.  ``prechange`` is the PR 2
+#: substrate -- flow cache on, generated code off -- rerun in the same
+#: process on the same machine, which is the only comparison stable
+#: enough to gate on.
+_MODE_ENV: Dict[str, Dict[str, str]] = {
+    "current": {},
+    "prechange": {"REPRO_FLOW_COMPILE": "0"},
+    "uncached": {"REPRO_FLOW_CACHE": "0"},
+}
+
+
 def run_workload(name: str, quick: bool = False,
-                 repeats: int = 1, instrument=None) -> Dict:
+                 repeats: int = 1, instrument=None,
+                 mode: str = "current") -> Dict:
     """Run one workload; returns its metrics + fingerprint record.
 
     With ``repeats > 1`` the best (fastest) wall-clock repeat is reported
@@ -488,28 +530,51 @@ def run_workload(name: str, quick: bool = False,
     before the timed region starts -- the hook ``repro.obs`` uses to
     attach CPU profilers and span tracers.  It must not perturb
     simulated time (the fingerprint equality check enforces this).
+
+    ``mode`` selects a rung of the bit-exactness ladder via
+    :data:`_MODE_ENV` environment overrides, applied around the workload
+    (each run builds a fresh testbed, so the flow-cache switches are
+    read under the override) and restored afterwards.
     """
     fn, quick_scale, full_scale = WORKLOADS[name]
     scale = quick_scale if quick else full_scale
+    overrides = _MODE_ENV[mode]
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
     best: Optional[Dict] = None
-    for _ in range(max(1, repeats)):
-        # Quiesce the cyclic collector around the timed region (pyperf
-        # does the same): GC pauses land randomly and are the dominant
-        # run-to-run noise source.  Simulated time cannot observe this.
-        gc_was_enabled = gc.isenabled()
-        gc.collect()
-        gc.disable()
-        try:
-            record = fn(scale, instrument=instrument)
-        finally:
-            if gc_was_enabled:
-                gc.enable()
-        if best is not None and record["fingerprint"] != best["fingerprint"]:
-            raise AssertionError(
-                "workload %r is nondeterministic: fingerprint %r != %r"
-                % (name, record["fingerprint"], best["fingerprint"]))
-        if best is None or record["wall_s"] < best["wall_s"]:
-            best = record
+    try:
+        # One discarded warmup pass at quick scale: imports, codegen
+        # compile() calls, and allocator pools all warm up outside the
+        # timed region.  Without it the first workload of a suite runs
+        # cold while legs later in the same process run warm -- a
+        # systematic bias that once showed a quick-scale micro-benchmark
+        # at 0.79x against its own prechange twin.  Uninstrumented: the
+        # warmup bed is thrown away and must not pollute a profiler.
+        fn(quick_scale, instrument=None)
+        for _ in range(max(1, repeats)):
+            # Quiesce the cyclic collector around the timed region (pyperf
+            # does the same): GC pauses land randomly and are the dominant
+            # run-to-run noise source.  Simulated time cannot observe this.
+            gc_was_enabled = gc.isenabled()
+            gc.collect()
+            gc.disable()
+            try:
+                record = fn(scale, instrument=instrument)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            if best is not None and record["fingerprint"] != best["fingerprint"]:
+                raise AssertionError(
+                    "workload %r is nondeterministic: fingerprint %r != %r"
+                    % (name, record["fingerprint"], best["fingerprint"]))
+            if best is None or record["wall_s"] < best["wall_s"]:
+                best = record
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
     best["name"] = name
     best["scale"] = scale
     best["quick"] = quick
@@ -517,26 +582,48 @@ def run_workload(name: str, quick: bool = False,
 
 
 def run_suite(quick: bool = False, repeats: int = 1,
-              names=None, jobs: int = 1) -> Dict:
+              names=None, jobs: int = 1, prechange: bool = True) -> Dict:
     """Run every workload; returns the full report dict.
 
     ``jobs > 1`` shards the workloads across worker processes (see
     ``repro.bench.runner``); fingerprints -- and therefore the pass/fail
     outcome -- are identical for any jobs count.
+
+    With ``prechange`` (the default), every workload whose flow cache
+    compiled generated code is rerun under ``REPRO_FLOW_COMPILE=0`` --
+    the PR 2 interpreted substrate -- on this machine in this run.
+    That leg is both the oracle (its fingerprints must match the
+    compiled run byte-for-byte) and the denominator of the one speed
+    ratio stable enough to *fail* on (see :func:`compare_to_baseline`).
     """
-    from .runner import run_wallclock_workloads
-    workloads = run_wallclock_workloads(
-        list(names or sorted(WORKLOADS)), quick=quick, repeats=repeats,
-        jobs=jobs)
+    from ..spin.flowcache import flow_cache_enabled, flow_compile_enabled
+    from .runner import run_wallclock_suite
+    workload_names = list(names or sorted(WORKLOADS))
+    # Only workloads that will actually run generated code have a
+    # meaningful interpreted twin.  Statically selected (COMPILED_
+    # WORKLOADS x environment switches), so the payload list -- and the
+    # report -- is deterministic, and skipped entirely when the whole
+    # suite already runs interpreted (e.g. the CI oracle leg).
+    gated = [name for name in workload_names
+             if prechange and name in COMPILED_WORKLOADS
+             and flow_cache_enabled() and flow_compile_enabled()]
+    workloads, legs = run_wallclock_suite(
+        workload_names, gated, quick=quick, repeats=repeats, jobs=jobs)
     report = {
         "schema_version": REPORT_SCHEMA_VERSION,
         "generated_by": "python -m repro.bench --wallclock",
         "quick": quick,
+        "host": host_fingerprint(),
         "workloads": workloads,
     }
+    if legs:
+        report["prechange"] = {
+            name: {key: leg[key] for key in
+                   ("wall_s", "events_per_sec", "fingerprint")}
+            for name, leg in legs.items()
+        }
     baseline = load_baseline()
-    if baseline is not None:
-        report["comparison"] = compare_to_baseline(report, baseline)
+    report["comparison"] = compare_to_baseline(report, baseline or {})
     return report
 
 
@@ -547,7 +634,7 @@ def fingerprints_only(quick: bool = True) -> Dict[str, Dict]:
 
 
 # ---------------------------------------------------------------------------
-# baseline comparison (CI smoke: warn, don't fail, on slowdown)
+# baseline comparison (same-run regressions fail; cross-machine drift warns)
 # ---------------------------------------------------------------------------
 
 def load_baseline(path: str = None) -> Optional[Dict]:
@@ -560,30 +647,73 @@ def load_baseline(path: str = None) -> Optional[Dict]:
 
 
 def compare_to_baseline(report: Dict, baseline: Dict,
-                        slowdown_warn: Optional[float] = None) -> Dict:
-    """Compare a fresh report against the committed baseline.
+                        slowdown_warn: Optional[float] = None,
+                        slowdown_fail: Optional[float] = None) -> Dict:
+    """Compare a fresh report against its prechange leg and the baseline.
 
-    Returns a record per workload with the events/sec speedup versus both
-    the committed post-optimization numbers and the recorded pre-change
-    (per-byte checksum, uncached dispatcher, un-pooled engine) numbers.
-    Fingerprint mismatches are *errors* (simulated time drifted);
-    slowdowns beyond ``slowdown_warn`` are *warnings* only, because
-    wall-clock numbers vary with host load.  When ``slowdown_warn`` is
-    None the threshold comes from ``REPRO_BENCH_WARN_PCT`` (default 20).
+    Two comparisons with deliberately different teeth:
+
+    * **Same-run prechange gate (fails).**  When the report carries a
+      ``prechange`` leg (:func:`run_suite`), its fingerprints must match
+      the current run byte-for-byte, and events/sec below ``1 -
+      slowdown_fail`` of the leg is an *error* -- same machine, same
+      process, same minute, so a regression there is the code, not the
+      host.  ``slowdown_fail`` defaults to ``REPRO_BENCH_FAIL_PCT``
+      (20%).  The committed-baseline check used to warn at 34-43% on a
+      different machine while reporting ``ok``; this ratio is the one a
+      perf change actually moves.
+    * **Committed-baseline comparison (informs).**  Fingerprint
+      mismatches are still *errors* -- simulated time is deterministic
+      and machine-independent -- but events/sec versus the committed
+      numbers only *warns* beyond ``slowdown_warn``
+      (``REPRO_BENCH_WARN_PCT``, default 20), and when the report and
+      baseline ``host`` fingerprints differ the warning says so: the
+      numbers were measured on different hardware and carry no signal.
+
+    Rows also record ``events_per_sec_vs_prechange`` (same-run, gated),
+    ``events_per_sec_vs_baseline`` and
+    ``events_per_sec_vs_committed_prechange`` (informational).
     """
     if slowdown_warn is None:
         from .regression import bench_warn_pct
         slowdown_warn = bench_warn_pct() / 100.0
+    if slowdown_fail is None:
+        from .regression import bench_fail_pct
+        slowdown_fail = bench_fail_pct() / 100.0
     mode = "quick" if report["quick"] else "full"
     base_workloads = baseline.get(mode, {}).get("workloads", {})
-    prechange = baseline.get(mode, {}).get("prechange", {})
+    committed_prechange = baseline.get(mode, {}).get("prechange", {})
+    prechange_leg = report.get("prechange", {})
+    baseline_host = baseline.get("host")
+    cross_machine = baseline_host is None or baseline_host != report.get("host")
+    host_note = (" (informational: baseline recorded on a different or "
+                 "unknown host)" if cross_machine else "")
     rows = {}
     for name, record in report["workloads"].items():
-        base = base_workloads.get(name)
         row = {"workload": name, "ok": True, "warnings": [], "errors": []}
+        rows[name] = row
+        # -- same-run prechange leg: the hard gate ----------------------
+        pre_run = prechange_leg.get(name)
+        if pre_run is not None:
+            if record["fingerprint"] != pre_run["fingerprint"]:
+                row["ok"] = False
+                row["errors"].append(
+                    "compiled/interpreted divergence: fingerprint %r != "
+                    "REPRO_FLOW_COMPILE=0 leg %r"
+                    % (record["fingerprint"], pre_run["fingerprint"]))
+            if pre_run.get("events_per_sec"):
+                ratio = record["events_per_sec"] / pre_run["events_per_sec"]
+                row["events_per_sec_vs_prechange"] = ratio
+                if ratio < 1.0 - slowdown_fail:
+                    row["ok"] = False
+                    row["errors"].append(
+                        "events/sec is %.0f%% of the same-run prechange "
+                        "leg (fail threshold %.0f%%)"
+                        % (100 * ratio, 100 * (1.0 - slowdown_fail)))
+        # -- committed baseline: determinism hard, speed informational --
+        base = base_workloads.get(name)
         if base is None:
             row["warnings"].append("no committed baseline for %r" % name)
-            rows[name] = row
             continue
         if record["fingerprint"] != base["fingerprint"]:
             row["ok"] = False
@@ -596,13 +726,12 @@ def compare_to_baseline(report: Dict, baseline: Dict,
             if ratio < 1.0 - slowdown_warn:
                 row["warnings"].append(
                     "events/sec is %.0f%% of committed baseline (warn "
-                    "threshold %.0f%%)" % (100 * ratio,
-                                           100 * (1.0 - slowdown_warn)))
-        pre = prechange.get(name)
+                    "threshold %.0f%%)%s"
+                    % (100 * ratio, 100 * (1.0 - slowdown_warn), host_note))
+        pre = committed_prechange.get(name)
         if pre and pre.get("events_per_sec"):
-            row["events_per_sec_vs_prechange"] = (
+            row["events_per_sec_vs_committed_prechange"] = (
                 record["events_per_sec"] / pre["events_per_sec"])
-        rows[name] = row
     return rows
 
 

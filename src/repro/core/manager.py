@@ -284,8 +284,9 @@ class IpManager(_ManagerBase):
         dispatcher = self.host.dispatcher
         if ip_protocol == IPPROTO_TCP:
             # The TCP-standard guard reads the diverted set live, but the
-            # redirect edge itself lives on the IP event -- the TCP event
-            # must be invalidated explicitly or cached plans would keep
+            # redirect edge itself lives on the IP event -- the TCP event's
+            # snapshot must be replaced explicitly (invalidate_event) or
+            # cached plans, keyed on snapshot identity, would keep
             # delivering the port locally.
             dispatcher.invalidate_event(self.stack.tcp_recv_event)
 
@@ -509,8 +510,9 @@ class TcpManager(_ManagerBase):
             mode=self.stack.deliver_mode, label="tcp-%s" % name)
         self.special_ports.update(port_list)
         # The standard guard's exclusion set just changed; flush cached
-        # verdicts (the install above bumped the generation already, but
-        # the set mutation is the semantic trigger -- keep it explicit).
+        # verdicts (the install above already replaced the event's handler
+        # snapshot, which is what plan validity keys on, but the set
+        # mutation is the semantic trigger -- keep it explicit).
         self.host.dispatcher.invalidate_event(self.stack.tcp_recv_event)
         return special
 

@@ -232,7 +232,8 @@ class PlexusStack:
 
         # TCP node -> standard implementation, excluding ports claimed by
         # special implementations or IP-level redirects (live sets; the
-        # TCP manager invalidates this event whenever they change).
+        # TCP manager invalidates this event -- replacing its handler
+        # snapshot, which flow-cache plans key on -- whenever they change).
         tcp_manager = self.tcp_manager
 
         def tcp_standard_guard(m, off, src_ip, dst_ip):

@@ -14,15 +14,24 @@ identical simulated ``guard_eval`` / ``dispatch_per_handler`` costs, in
 the identical order, as the linear scan would -- simulated time stays
 bit-identical whether the cache is on or off.
 
-Invalidation is by generation counter, with no global flush:
+Invalidation is by snapshot identity, with no global flush:
 
-* every :class:`~repro.spin.dispatcher.EventDecl` carries a
-  ``generation`` bumped on handler install/uninstall;
-* managers whose guards read live state (the TCP special/diverted port
-  sets) bump it explicitly through ``Dispatcher.invalidate_event`` when
-  that state changes;
-* a compiled plan records the generation it was built against and is
-  lazily discarded on the next raise when they disagree.
+* every :class:`~repro.spin.dispatcher.EventDecl` rebuilds its handler
+  snapshot tuple on install/uninstall (and on explicit
+  ``Dispatcher.invalidate_event`` -- managers whose guards read live
+  state, like the TCP special/diverted port sets, call it when that
+  state changes without an install);
+* a compiled plan keeps a reference to the snapshot it was built
+  against and is valid exactly while ``plan.snapshot is
+  event._snapshot`` -- identity, not equality.  Because the plan's
+  reference keeps the old tuple alive, a recycled ``id()`` can never
+  alias, so a stale plan surviving outside the cache (an evicted entry
+  still riding on a queued packet header) can never coincidentally
+  validate the way a wrapped or reset counter could;
+* each event additionally carries a ``generation`` drawn from a
+  dispatcher-wide monotonic epoch counter (values never recur across
+  uninstall/reinstall or across events), recorded on plans for
+  observability.
 
 Correctness contract: a guard installed on a flow-routed event must be a
 pure function of the flow key plus generation-invalidated live state.
@@ -31,17 +40,26 @@ Every guard the protocol managers construct satisfies this by design
 classifier cannot reduce to a flow key -- truncated headers, IP
 fragments -- carry no flow entry and take the linear path.
 
-``REPRO_FLOW_CACHE=0`` disables the cache for the process: every raise
-then takes the linear scan.  The equivalence tests run both ways and
-assert identical delivery order, counters, and simulated time.
+Plans additionally compile to generated Python fast paths
+(``repro.spin.codegen``) -- the three-way mode ladder:
+
+* default: plans and flowless scans run as generated functions;
+* ``REPRO_FLOW_COMPILE=0``: PR 2 behavior -- plans replay through the
+  interpreted loop, flowless raises walk the handler list;
+* ``REPRO_FLOW_CACHE=0``: the uncached oracle -- no plans, no generated
+  code, every raise is the interpreted linear scan.
+
+The equivalence tests run all three ways and assert identical delivery
+order, counters, and bit-identical simulated time.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
-__all__ = ["FlowCache", "FlowEntry", "CompiledPlan", "flow_cache_enabled"]
+__all__ = ["FlowCache", "FlowEntry", "CompiledPlan", "flow_cache_enabled",
+           "flow_compile_enabled"]
 
 
 def flow_cache_enabled() -> bool:
@@ -49,24 +67,44 @@ def flow_cache_enabled() -> bool:
     return os.environ.get("REPRO_FLOW_CACHE", "1") != "0"
 
 
+def flow_compile_enabled() -> bool:
+    """Whether plans/scans compile to generated code (default: yes).
+
+    ``REPRO_FLOW_COMPILE=0`` keeps the flow cache but serves it through
+    the interpreted replay loop -- the PR 2 behavior, kept as the
+    mid-rung of the bit-exactness ladder and as the "prechange" leg the
+    wall-clock bench gate measures against.  Implies nothing when the
+    cache itself is off.
+    """
+    return os.environ.get("REPRO_FLOW_COMPILE", "1") != "0"
+
+
 class CompiledPlan:
     """The recorded guard verdicts of one (flow, event) pair.
 
     ``steps`` is a tuple of ``(handle, matched)`` pairs in snapshot scan
-    order; ``generation`` is the event generation the verdicts were
-    recorded against.  A plan whose generation no longer matches the
-    event's is stale and is recompiled on the next raise.
+    order; ``snapshot`` is the event's handler snapshot the verdicts
+    were recorded against, and the plan is valid exactly while that
+    tuple is still (identically) the event's current one.  ``fn`` is
+    the generated fast-path function from ``repro.spin.codegen`` (None
+    under ``REPRO_FLOW_COMPILE=0`` or past the step cap, in which case
+    the interpreted replay loop serves the plan).  ``generation`` is
+    the dispatcher epoch the plan was recorded at, for observability.
     """
 
-    __slots__ = ("generation", "steps")
+    __slots__ = ("generation", "snapshot", "steps", "fn")
 
-    def __init__(self, generation: int, steps: Tuple) -> None:
+    def __init__(self, generation: int, snapshot: Tuple, steps: Tuple,
+                 fn: Optional[Callable] = None) -> None:
         self.generation = generation
+        self.snapshot = snapshot
         self.steps = steps
+        self.fn = fn
 
     def __repr__(self) -> str:
-        return "<CompiledPlan gen=%d %d steps>" % (
-            self.generation, len(self.steps))
+        return "<CompiledPlan gen=%d %d steps%s>" % (
+            self.generation, len(self.steps),
+            " compiled" if self.fn is not None else "")
 
 
 class FlowEntry:
@@ -113,6 +151,9 @@ class FlowCache:
 
     def __init__(self, capacity: Optional[int] = None) -> None:
         self.enabled = flow_cache_enabled()
+        #: serve plans/scans as generated code (repro.spin.codegen);
+        #: REPRO_FLOW_CACHE=0 implies the fully interpreted oracle.
+        self.compile_enabled = self.enabled and flow_compile_enabled()
         self.capacity = capacity if capacity else _default_capacity()
         self.entries: Dict[Tuple, FlowEntry] = {}
         self._mru: Optional[Tuple] = None  # tail of the recency order
@@ -120,6 +161,18 @@ class FlowCache:
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        # generated-code counters (host-side observability only)
+        self.compiled_plans = 0
+        self.compiled_scans = 0
+        self.compiled_replays = 0
+        self.compiled_scan_raises = 0
+        #: compilations whose shape *this cache* had already compiled.
+        #: Deliberately not "served from the process-wide factory cache":
+        #: that would depend on what ran earlier in the process, and the
+        #: bench report contract requires identical metrics snapshots
+        #: for serial and parallel (fresh-process) runs.
+        self.compiled_shape_hits = 0
+        self.compiled_shapes_seen: set = set()
 
     def entry_for(self, key: Optional[Tuple]) -> Optional[FlowEntry]:
         """The (created-on-demand) entry for ``key``; None when disabled
@@ -156,6 +209,13 @@ class FlowCache:
             "misses": self.misses,
             "invalidations": self.invalidations,
             "evictions": self.evictions,
+            # flat keys: the bench report sums counters across hosts
+            "compiled_enabled": self.compile_enabled,
+            "compiled_plans": self.compiled_plans,
+            "compiled_scans": self.compiled_scans,
+            "compiled_replays": self.compiled_replays,
+            "compiled_scan_raises": self.compiled_scan_raises,
+            "compiled_shape_hits": self.compiled_shape_hits,
         }
 
     def register_metrics(self, registry) -> None:
@@ -168,6 +228,18 @@ class FlowCache:
         registry.source("spin.flowcache.invalidations",
                         lambda: self.invalidations)
         registry.source("spin.flowcache.evictions", lambda: self.evictions)
+        registry.source("spin.flowcache.compiled.enabled",
+                        lambda: int(self.compile_enabled))
+        registry.source("spin.flowcache.compiled.plans",
+                        lambda: self.compiled_plans)
+        registry.source("spin.flowcache.compiled.scans",
+                        lambda: self.compiled_scans)
+        registry.source("spin.flowcache.compiled.replays",
+                        lambda: self.compiled_replays)
+        registry.source("spin.flowcache.compiled.scan_raises",
+                        lambda: self.compiled_scan_raises)
+        registry.source("spin.flowcache.compiled.shape_hits",
+                        lambda: self.compiled_shape_hits)
 
     def __repr__(self) -> str:
         return "<FlowCache %d entries hits=%d misses=%d inval=%d>" % (

@@ -1,13 +1,18 @@
-"""Property test: flow-cached dispatch is equivalent to the linear scan.
+"""Property test: the three-way delivery ladder is equivalent.
 
 The flow cache's contract (``repro.spin.flowcache``) is that replaying a
 compiled plan is *observably identical* to re-scanning every guard: the
 same handlers run in the same order, the same statistics move, and the
-same simulated costs are charged in the same order.  This drives random
+same simulated costs are charged in the same order.  Since the codegen
+tentpole there are three rungs, not two -- generated fast paths
+(default), interpreted plan replay (``REPRO_FLOW_COMPILE=0``), and the
+uncached linear scan (``REPRO_FLOW_CACHE=0``) -- so this drives random
 interleavings of handler installs, uninstalls, and packet sends through
-two kernels in lockstep -- one raising along :class:`FlowEntry` objects
-(cache on), one using the plain linear ``raise_event`` -- and asserts
-the observable state never diverges.
+three kernels in lockstep, one per rung, and asserts the observable
+state never diverges: delivery log, bit-identical charged microseconds,
+per-handle statistics, and the obs metrics snapshot (minus the
+flow-cache counters, which measure the rungs' mechanics and legitimately
+differ).
 
 Guards here are pure functions of the flow key, which is exactly the
 correctness contract the protocol managers uphold.
@@ -15,6 +20,7 @@ correctness contract the protocol managers uphold.
 
 from hypothesis import given, settings, strategies as st
 
+from repro.obs.registry import MetricsRegistry
 from repro.sim import Engine
 from repro.spin import SpinKernel
 from repro.spin.flowcache import FlowEntry
@@ -31,6 +37,9 @@ GUARDS = [
 
 KEYS = (0, 1, 2, 3)
 
+#: the ladder: how each side raises and whether codegen is armed.
+MODES = ("compiled", "replay", "linear")
+
 _ops = st.lists(
     st.one_of(
         st.tuples(st.just("install"), st.integers(0, len(GUARDS) - 1)),
@@ -41,16 +50,21 @@ _ops = st.lists(
 
 
 class _Side:
-    """One kernel driven through the op sequence (cached or linear)."""
+    """One kernel driven through the op sequence under one ladder rung."""
 
-    def __init__(self, cached: bool):
+    def __init__(self, mode: str):
+        assert mode in MODES
+        self.mode = mode
         self.engine = Engine()
         self.kernel = SpinKernel(self.engine, "prop-kernel")
         self.dispatcher = self.kernel.dispatcher
+        # Forced per side so the property holds regardless of the
+        # process-wide REPRO_FLOW_CACHE / REPRO_FLOW_COMPILE hatches.
+        self.dispatcher.flow_cache.compile_enabled = (mode == "compiled")
         self.event = self.dispatcher.declare("Prop.Packet")
-        self.cached = cached
-        # Constructed directly so the property holds regardless of the
-        # process-wide REPRO_FLOW_CACHE escape hatch.
+        # Constructed directly (not via cache.entry_for), so the cached
+        # rungs exercise plan record/replay even if the cache is off in
+        # the environment.
         self.flows = {key: FlowEntry((key,)) for key in KEYS}
         self.handles = []
         self.log = []
@@ -87,47 +101,67 @@ class _Side:
 
     def _send(self, key_idx):
         key = KEYS[key_idx]
-        if self.cached:
-            flow = self.flows[key]
-            self._run(lambda: self.dispatcher.raise_flow(
-                self.event, flow, key))
-        else:
+        if self.mode == "linear":
             self._run(lambda: self.dispatcher.raise_event(self.event, key))
+        else:
+            self._run(lambda: self.dispatcher.raise_flow(
+                self.event, self.flows[key], key))
+
+    def metrics(self):
+        """The obs snapshot, minus the flow-cache mechanics counters."""
+        registry = MetricsRegistry()
+        self.dispatcher.register_metrics(registry)
+        self.kernel.cpu.register_metrics(registry)
+        return {name: entry for name, entry in registry.snapshot().items()
+                if not name.startswith("spin.flowcache.")}
 
 
 class TestFlowCacheEquivalence:
     @given(_ops)
     @settings(max_examples=15, deadline=None)
-    def test_cached_equals_linear(self, ops):
-        cached, linear = _Side(cached=True), _Side(cached=False)
+    def test_ladder_rungs_are_equivalent(self, ops):
+        compiled, replay, linear = (_Side(mode) for mode in MODES)
+        sides = (compiled, replay, linear)
         for op, arg in ops:
-            cached.apply(op, arg)
-            linear.apply(op, arg)
+            for side in sides:
+                side.apply(op, arg)
 
-        # Identical delivery: same handlers, same packets, same order.
-        assert cached.log == linear.log
-        # Bit-identical simulated time and cost accounting.
-        assert cached.engine.now == linear.engine.now
-        assert (dict(cached.kernel.cpu.category_times)
-                == dict(linear.kernel.cpu.category_times))
-        # Identical per-handle statistics.
-        assert len(cached.handles) == len(linear.handles)
-        for ch, lh in zip(cached.handles, linear.handles):
-            assert ch.installed == lh.installed
-            assert ch.invocations == lh.invocations
-            assert ch.guard_rejections == lh.guard_rejections
-        assert (cached.dispatcher.total_invocations
-                == linear.dispatcher.total_invocations)
-        assert cached.dispatcher.total_raises == linear.dispatcher.total_raises
+        for side in (replay, linear):
+            # Identical delivery: same handlers, same packets, same order.
+            assert side.log == compiled.log
+            # Bit-identical simulated time and cost accounting.
+            assert side.engine.now == compiled.engine.now
+            assert (dict(side.kernel.cpu.category_times)
+                    == dict(compiled.kernel.cpu.category_times))
+            # Identical per-handle statistics.
+            assert len(side.handles) == len(compiled.handles)
+            for sh, ch in zip(side.handles, compiled.handles):
+                assert sh.installed == ch.installed
+                assert sh.invocations == ch.invocations
+                assert sh.guard_rejections == ch.guard_rejections
+            assert (side.dispatcher.total_invocations
+                    == compiled.dispatcher.total_invocations)
+            assert (side.dispatcher.total_raises
+                    == compiled.dispatcher.total_raises)
+            # Identical metrics snapshot outside the cache mechanics.
+            assert side.metrics() == compiled.metrics()
 
     @given(_ops)
     @settings(max_examples=10, deadline=None)
     def test_plans_replay_after_warmup(self, ops):
-        """Sending the same flow twice in a row replays its plan."""
-        side = _Side(cached=True)
-        for op, arg in ops:
-            side.apply(op, arg)
-        side.apply("send", 0)  # records (or replays) flow 0's plan
-        before = side.dispatcher.flow_cache.hits
-        side.apply("send", 0)  # now the plan exists and is fresh: replay
-        assert side.dispatcher.flow_cache.hits == before + 1
+        """Sending the same flow twice in a row replays its plan --
+        through generated code on the compiled rung."""
+        for mode in ("compiled", "replay"):
+            side = _Side(mode)
+            for op, arg in ops:
+                side.apply(op, arg)
+            side.apply("send", 0)  # records (or replays) flow 0's plan
+            cache = side.dispatcher.flow_cache
+            before = cache.hits
+            replays_before = cache.compiled_replays
+            side.apply("send", 0)  # now the plan exists and is fresh: replay
+            assert cache.hits == before + 1
+            if mode == "compiled":
+                assert cache.compiled_replays == replays_before + 1
+            else:
+                assert cache.compiled_replays == 0
