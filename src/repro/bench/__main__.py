@@ -14,6 +14,18 @@ Usage::
                                       # across 4 worker processes; output
                                       # is byte-identical to --jobs 1
                                       # (also applies to --wallclock)
+    python -m repro.bench --wallclock --sim-jobs 2
+                                      # additionally run many_flows
+                                      # sharded over 2 simulation
+                                      # partitions, gated on exact
+                                      # equality with the serial oracle
+                                      # (REPRO_SIM_PARALLEL=0 executor)
+    python -m repro.bench --parallel-curve
+                                      # partitioned-many_flows speedup
+                                      # curve over jobs {1, 2, 4};
+                                      # writes BENCH_parallel.json and
+                                      # fails only on fingerprint
+                                      # divergence from the oracle
 """
 
 import sys
@@ -35,9 +47,39 @@ def _jobs(argv) -> int:
     return jobs
 
 
-def _wallclock(quick: bool, jobs: int = 1) -> int:
+def _sim_jobs(argv) -> int:
+    """Parse ``--sim-jobs N`` (default 1: the classic single engine)."""
+    if "--sim-jobs" not in argv:
+        return 1
+    index = argv.index("--sim-jobs")
+    try:
+        sim_jobs = int(argv[index + 1])
+    except (IndexError, ValueError):
+        raise SystemExit("--sim-jobs requires an integer argument")
+    if sim_jobs < 1:
+        raise SystemExit("--sim-jobs must be >= 1")
+    return sim_jobs
+
+
+def _print_parallel_legs(legs) -> bool:
+    """Render speedup-curve legs; returns True if any leg diverged."""
+    failed = False
+    for leg in legs:
+        print("many_flows x%-2d %10.3f s serial  %8.3f s parallel  "
+              "%.2fx speedup  [%s]"
+              % (leg["sim_jobs"], leg["serial"]["wall_s"],
+                 leg["parallel"]["wall_s"], leg["speedup"],
+                 leg["executor"]))
+        for error in leg["errors"]:
+            print("  ERROR: %s" % error)
+        if not leg["ok"]:
+            failed = True
+    return failed
+
+
+def _wallclock(quick: bool, jobs: int = 1, sim_jobs: int = 1) -> int:
     from .wallclock import run_suite, write_report
-    suite = run_suite(quick=quick, repeats=3, jobs=jobs)
+    suite = run_suite(quick=quick, repeats=3, jobs=jobs, sim_jobs=sim_jobs)
     path = write_report(suite)
     host = suite.get("host", {})
     print("host: %s %s on %s %s\n"
@@ -78,9 +120,34 @@ def _wallclock(quick: bool, jobs: int = 1) -> int:
             print("  ERROR: %s" % error)
         if not row.get("ok", True):
             failed = True
+    parallel = suite.get("parallel")
+    if parallel:
+        print()
+        if _print_parallel_legs(parallel["legs"]):
+            failed = True
     print("\nreport written to %s" % path)
-    # Fails on fingerprint drift (simulated time changed) and on same-run
-    # prechange regressions; committed-baseline slowdowns only warn.
+    # Fails on fingerprint drift (simulated time changed), on same-run
+    # prechange regressions, and on any partitioned leg diverging from
+    # its serial oracle; committed-baseline slowdowns only warn.
+    return 1 if failed else 0
+
+
+def _parallel_curve(quick: bool) -> int:
+    """The ``--sim-jobs`` speedup curve: jobs in {1, 2, 4}.
+
+    Hard-fails only on fingerprint/events/metrics divergence between the
+    parallel executor and the serial oracle; the speedup itself is
+    recorded in ``BENCH_parallel.json`` (wall-clock on a loaded or
+    single-core host carries no gating signal).
+    """
+    from .parallel import run_parallel_legs, write_parallel_report
+    from .wallclock import WORKLOADS
+    _fn, quick_scale, full_scale = WORKLOADS["many_flows"]
+    scale = quick_scale if quick else full_scale
+    legs = run_parallel_legs([1, 2, 4], scale)
+    path = write_parallel_report(legs, scale)
+    failed = _print_parallel_legs(legs)
+    print("\nreport written to %s" % path)
     return 1 if failed else 0
 
 
@@ -99,11 +166,15 @@ def _charts() -> str:
 def main(argv) -> int:
     argv = list(argv)
     jobs = _jobs(argv)
+    sim_jobs = _sim_jobs(argv)
     if "--charts" in argv:
         print(_charts())
         return 0
+    if "--parallel-curve" in argv:
+        return _parallel_curve(quick="--full" not in argv)
     if "--wallclock" in argv:
-        return _wallclock(quick="--full" not in argv, jobs=jobs)
+        return _wallclock(quick="--full" not in argv, jobs=jobs,
+                          sim_jobs=sim_jobs)
     if "--check" in argv:
         from .regression import check_all, wallclock_smoke
         from .report import format_table

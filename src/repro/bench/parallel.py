@@ -1,0 +1,211 @@
+"""Partitioned ``many_flows``: the testbed sharded across engines.
+
+The classic ``many_flows`` workload drives ``scale`` concurrent client
+flows against one server on a single engine.  Here the *same* scenario is
+sharded: each partition owns a private client-host/server-host ATM bed
+(built by the one shared :func:`repro.bench.wallclock._many_flows_setup`)
+carrying its contiguous slice of the flows, and the partitions run as a
+:class:`repro.sim.PartitionedSimulation` -- the serial executor
+(``REPRO_SIM_PARALLEL=0`` or ``parallel=False``) as the bit-exactness
+oracle, the parallel executor forking one worker process per partition.
+
+Flow sharding is embarrassingly parallel (no boundary channels between
+the shards -- cross-partition media are exercised by the T3 boundary
+pair and the chaos partition campaigns), which is exactly what makes the
+speedup curve an honest measure of the partitioned core's overhead:
+every event still flows through the same ``SchedulerCore``, rounds, and
+result merge.
+
+Fingerprints of the partitioned mode are defined over the *merged*
+results (sums of flow counters, max of final clocks, rolled-up metrics
+snapshots) and carry a ``partitions`` field, so they are comparable only
+against runs with the same partition count -- the oracle is the serial
+executor at equal ``sim_jobs``, never the classic unpartitioned record.
+
+``python -m repro.bench --parallel-curve`` writes the
+``BENCH_parallel.json`` speedup-curve artifact (jobs in {1, 2, 4}).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "run_partitioned_many_flows",
+    "run_parallel_legs",
+    "write_parallel_report",
+    "PARALLEL_REPORT_FILENAME",
+    "PARALLEL_REPORT_SCHEMA_VERSION",
+]
+
+PARALLEL_REPORT_FILENAME = "BENCH_parallel.json"
+PARALLEL_REPORT_SCHEMA_VERSION = 1
+
+_REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", ".."))
+
+
+def _split_scale(scale: int, n_partitions: int, index: int) -> int:
+    """Partition ``index``'s slice of ``scale`` flows (remainder goes low)."""
+    base, extra = divmod(scale, n_partitions)
+    return base + (1 if index < extra else 0)
+
+
+def _many_flows_partition(index: int, n_partitions: int, spec: Dict):
+    """Build one ``many_flows`` shard (runs inside the owning process)."""
+    from ..obs.wire import instrument_testbed
+    from ..sim import Partition, PartitionEngine
+    from .testbed import build_testbed
+    from .wallclock import _many_flows_setup
+
+    engine = PartitionEngine(index)
+    bed = build_testbed("unix", "atm", deliver_mode="interrupt", engine=engine)
+    bed.partition_index = index
+    shard_scale = _split_scale(spec["scale"], n_partitions, index)
+    state, main_factory = _many_flows_setup(bed, shard_scale)
+    main = engine.process(main_factory(), name="wallclock-many-flows")
+
+    def result() -> Dict:
+        main.value  # surfaces any exception that escaped the workload
+        record = dict(state)
+        record["flows"] = shard_scale
+        record["final_now_us"] = engine.now
+        record["events"] = engine.events_processed
+        record["metrics"] = instrument_testbed(bed).snapshot()
+        return record
+
+    return Partition(engine, done=lambda: main.triggered, result=result)
+
+
+def run_partitioned_many_flows(scale: int, sim_jobs: int,
+                               parallel: Optional[bool] = None) -> Dict:
+    """Run ``many_flows`` sharded over ``sim_jobs`` partitions.
+
+    Returns a record shaped like the other wall-clock workload records
+    (``wall_s`` / ``events`` / ``metrics`` / ``fingerprint``...).
+    ``parallel=None`` lets ``REPRO_SIM_PARALLEL`` decide the executor;
+    ``parallel=False`` forces the in-process serial oracle.
+    """
+    from ..obs.registry import merge_snapshots
+    from ..sim import PartitionedSimulation
+
+    if sim_jobs < 1:
+        raise ValueError("sim_jobs must be >= 1, got %d" % sim_jobs)
+    if scale < sim_jobs:
+        raise ValueError(
+            "many_flows needs at least one flow per partition "
+            "(scale=%d, sim_jobs=%d)" % (scale, sim_jobs))
+    simulation = PartitionedSimulation(
+        _many_flows_partition, sim_jobs, {"scale": scale}, parallel=parallel)
+    wall0 = time.perf_counter()
+    results = simulation.run()
+    wall = time.perf_counter() - wall0
+
+    events = sum(r["events"] for r in results)
+    served = sum(r["served"] for r in results)
+    packets = served * 2
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "packets": packets,
+        "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        "per_flow_kb": 0.0,   # RSS lives in worker processes; not sampled
+        "sim_jobs": sim_jobs,
+        "executor": "parallel" if simulation.parallel and sim_jobs > 1
+                    else "serial",
+        "rounds": simulation.rounds,
+        "metrics": merge_snapshots([r["metrics"] for r in results]),
+        "fingerprint": {
+            "flows": scale,
+            "partitions": sim_jobs,
+            "tcp_done": sum(r["tcp_done"] for r in results),
+            "udp_done": sum(r["udp_done"] for r in results),
+            "bytes_in": sum(r["bytes_in"] for r in results),
+            # Peaks are concurrent *per partition*; the sum is the
+            # testbed-wide concurrency the sharded run sustained.
+            "peak_conns": sum(r["peak_conns"] for r in results),
+            "peak_watched": sum(r["peak_watched"] for r in results),
+            "final_now_us": max(r["final_now_us"] for r in results),
+        },
+    }
+
+
+def _comparable(record: Dict) -> Dict:
+    """The deterministic projection of a record (what the oracle gates on).
+
+    Exactly the acceptance surface: event counts, simulated-time
+    fingerprint, and the merged metrics snapshots.  Wall-clock fields
+    are host measurements and excluded.
+    """
+    return {
+        "events": record["events"],
+        "fingerprint": record["fingerprint"],
+        "metrics": record["metrics"],
+    }
+
+
+def run_parallel_legs(jobs_values: Sequence[int], scale: int) -> List[Dict]:
+    """One speedup-curve leg per jobs value: serial oracle + parallel run.
+
+    Each leg runs the *same-run* pair -- the serial executor first, then
+    the parallel executor at equal partition count -- and records the
+    wall-clock speedup plus the hard ``ok`` verdict: the parallel run's
+    events, fingerprint, and metrics snapshots must equal the serial
+    oracle's exactly.  (With ``REPRO_SIM_PARALLEL=0`` both runs use the
+    serial executor; ``ok`` is then trivially true and ``speedup`` ~1.)
+    """
+    legs = []
+    for jobs in jobs_values:
+        serial = run_partitioned_many_flows(scale, jobs, parallel=False)
+        current = run_partitioned_many_flows(scale, jobs, parallel=None)
+        ok = _comparable(current) == _comparable(serial)
+        errors = []
+        if not ok:
+            for key in ("events", "fingerprint", "metrics"):
+                if current[key] != serial[key]:
+                    errors.append(
+                        "parallel %s diverged from the serial oracle: "
+                        "%r != %r" % (key, current[key], serial[key]))
+        legs.append({
+            "sim_jobs": jobs,
+            "scale": scale,
+            "executor": current["executor"],
+            "serial": {"wall_s": serial["wall_s"],
+                       "events_per_sec": serial["events_per_sec"],
+                       "rounds": serial["rounds"]},
+            "parallel": {"wall_s": current["wall_s"],
+                         "events_per_sec": current["events_per_sec"],
+                         "rounds": current["rounds"]},
+            "speedup": (serial["wall_s"] / current["wall_s"]
+                        if current["wall_s"] > 0 else 0.0),
+            "fingerprint": current["fingerprint"],
+            "ok": ok,
+            "errors": errors,
+        })
+    return legs
+
+
+def write_parallel_report(legs: List[Dict], scale: int,
+                          path: Optional[str] = None) -> str:
+    """Write the ``BENCH_parallel.json`` speedup-curve artifact."""
+    from .wallclock import host_fingerprint
+
+    report = {
+        "schema_version": PARALLEL_REPORT_SCHEMA_VERSION,
+        "generated_by": "python -m repro.bench --parallel-curve",
+        "workload": "many_flows",
+        "scale": scale,
+        "host": host_fingerprint(),
+        "cpu_count": os.cpu_count(),
+        "legs": legs,
+        "ok": all(leg["ok"] for leg in legs),
+    }
+    path = path or os.path.join(_REPO_ROOT, PARALLEL_REPORT_FILENAME)
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

@@ -130,11 +130,17 @@ def run_wallclock_workloads(names: Sequence[str], quick: bool = False,
 
 def run_wallclock_suite(names: Sequence[str], gated: Sequence[str],
                         quick: bool = False, repeats: int = 1,
-                        jobs: int = 1):
+                        jobs: int = 1, sim_jobs: int = 1):
     """Current-mode records for ``names``, plus a same-run
     ``REPRO_FLOW_COMPILE=0`` twin for each workload in ``gated``.
 
-    Returns ``(current, prechange)`` dicts keyed by name.  Gated
+    Returns ``(current, prechange, parallel_legs)``; the first two are
+    dicts keyed by name, the third the partitioned ``many_flows`` legs
+    (empty unless ``sim_jobs > 1``).  The partitioned legs always run in
+    *this* process, after the pool has drained: the parallel executor
+    forks one worker per partition itself, and nesting that inside a
+    ``ProcessPoolExecutor`` worker would stack process trees for no
+    speedup (the partitions already saturate the cores).  Gated
     workloads are scheduled as *interleaved single-repeat pairs* --
     current, prechange, current, prechange, ... -- and each mode keeps
     its best wall_s.  Running all N repeats of one leg before any of
@@ -166,4 +172,11 @@ def run_wallclock_suite(names: Sequence[str], gated: Sequence[str],
                 % (name, record["fingerprint"], best["fingerprint"]))
         if best is None or record["wall_s"] < best["wall_s"]:
             bucket[name] = record
-    return current, prechange
+    parallel_legs: List[Dict] = []
+    if sim_jobs > 1:
+        from .wallclock import WORKLOADS
+        from .parallel import run_parallel_legs
+        _fn, quick_scale, full_scale = WORKLOADS["many_flows"]
+        scale = quick_scale if quick else full_scale
+        parallel_legs = run_parallel_legs([sim_jobs], scale)
+    return current, prechange, parallel_legs

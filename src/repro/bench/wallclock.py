@@ -73,7 +73,14 @@ __all__ = [
 #: report deliberately records nothing else about *how* it was produced
 #: beyond ``generated_by``: a parallel run (``repro.bench.runner``,
 #: ``--jobs N``) must emit the byte-identical file a serial run does.
-REPORT_SCHEMA_VERSION = 5
+#: Schema 6 adds the optional ``parallel`` section (``--sim-jobs N``):
+#: one partitioned-``many_flows`` leg pairing the serial executor (the
+#: ``REPRO_SIM_PARALLEL=0`` oracle) with the forked parallel executor at
+#: equal partition count, gated on exact fingerprint/events/metrics
+#: equality.  The classic ``workloads`` records are untouched by
+#: ``--sim-jobs`` -- their fingerprints stay comparable to the committed
+#: baseline regardless of the flag.
+REPORT_SCHEMA_VERSION = 6
 REPORT_FILENAME = "BENCH_wallclock.json"
 
 #: repo-root and committed-baseline locations, resolved relative to this file
@@ -322,27 +329,17 @@ def _rss_kb() -> int:
         return 0
 
 
-def _many_flows(scale: int, instrument=None) -> Dict:
-    """Scale-out: ``scale`` concurrent client flows against one server.
+def _many_flows_setup(bed, scale: int):
+    """Wire the many-flows scenario onto a built bed.
 
-    One UNIX-model server plays a small HTTP/video origin on a 155 Mb/s
-    ATM testbed: a TCP listener that pushes a fixed object at every
-    accepted connection, and a UDP port that answers every datagram with
-    a fixed reply.  ``scale`` client flows (half TCP, half UDP) open at a
-    fixed stagger from a second host, so thousands of connections are in
-    flight at once.  The server multiplexes everything through one
-    :class:`~repro.unixos.sockets.Poller` in kqueue style -- per-event
-    work, not per-registered-socket scans -- which, with the timer wheel
-    (per-connection retransmit/delayed-ack/TIME_WAIT timers) and the O(1)
-    port allocators, is exactly the machinery this workload stresses.
-
-    Clients deliberately send no TCP request bytes: a segment arriving
-    before the server accepts would be consumed by the kernel TCB with no
-    reader attached.  Connecting *is* the request (HTTP/0.9 push style).
+    Shared by the classic single-engine workload below and the
+    partitioned shards in :mod:`repro.bench.parallel` (each shard calls
+    this on its own partition-local bed with its slice of the flows).
+    Returns ``(state, main_factory)``: the mutable flow-counter dict and
+    a zero-argument callable producing the main generator.
     """
     from ..sim import Signal
     from ..unixos.sockets import Poller
-    from .testbed import build_testbed
 
     n_tcp = scale // 2
     n_udp = scale - n_tcp
@@ -352,9 +349,6 @@ def _many_flows(scale: int, instrument=None) -> Dict:
     stagger_us = 15.0
     tcp_port, udp_port = 80, 5004
 
-    bed = build_testbed("unix", "atm", deliver_mode="interrupt")
-    if instrument is not None:
-        instrument(bed)
     engine = bed.engine
     client_host, server_host = bed.hosts[0], bed.hosts[1]
     client_sockets, server_sockets = bed.sockets[0], bed.sockets[1]
@@ -437,6 +431,44 @@ def _many_flows(scale: int, instrument=None) -> Dict:
             engine.process(udp_client(n_tcp + index), name="mf-udp-%d" % index)
         yield all_done.wait()
 
+    return state, main
+
+
+def _many_flows(scale: int, instrument=None, sim_jobs: int = 1) -> Dict:
+    """Scale-out: ``scale`` concurrent client flows against one server.
+
+    One UNIX-model server plays a small HTTP/video origin on a 155 Mb/s
+    ATM testbed: a TCP listener that pushes a fixed object at every
+    accepted connection, and a UDP port that answers every datagram with
+    a fixed reply.  ``scale`` client flows (half TCP, half UDP) open at a
+    fixed stagger from a second host, so thousands of connections are in
+    flight at once.  The server multiplexes everything through one
+    :class:`~repro.unixos.sockets.Poller` in kqueue style -- per-event
+    work, not per-registered-socket scans -- which, with the timer wheel
+    (per-connection retransmit/delayed-ack/TIME_WAIT timers) and the O(1)
+    port allocators, is exactly the machinery this workload stresses.
+
+    Clients deliberately send no TCP request bytes: a segment arriving
+    before the server accepts would be consumed by the kernel TCB with no
+    reader attached.  Connecting *is* the request (HTTP/0.9 push style).
+
+    ``sim_jobs > 1`` shards the scenario across that many partition
+    engines (see :mod:`repro.bench.parallel`).  ``instrument`` is
+    ignored on that path: the shards' beds live in worker processes, and
+    their metrics snapshots come back merged in the record instead.
+    """
+    if sim_jobs > 1:
+        from .parallel import run_partitioned_many_flows
+        return run_partitioned_many_flows(scale, sim_jobs)
+
+    from .testbed import build_testbed
+
+    bed = build_testbed("unix", "atm", deliver_mode="interrupt")
+    if instrument is not None:
+        instrument(bed)
+    engine = bed.engine
+    state, main = _many_flows_setup(bed, scale)
+
     rss_before_kb = _rss_kb()
     wall0 = time.perf_counter()
     engine.run_process(main(), name="wallclock-many-flows")
@@ -518,7 +550,7 @@ _MODE_ENV: Dict[str, Dict[str, str]] = {
 
 def run_workload(name: str, quick: bool = False,
                  repeats: int = 1, instrument=None,
-                 mode: str = "current") -> Dict:
+                 mode: str = "current", sim_jobs: int = 1) -> Dict:
     """Run one workload; returns its metrics + fingerprint record.
 
     With ``repeats > 1`` the best (fastest) wall-clock repeat is reported
@@ -535,9 +567,22 @@ def run_workload(name: str, quick: bool = False,
     :data:`_MODE_ENV` environment overrides, applied around the workload
     (each run builds a fresh testbed, so the flow-cache switches are
     read under the override) and restored afterwards.
+
+    ``sim_jobs > 1`` runs the workload sharded over that many simulation
+    partitions (only ``many_flows`` supports sharding).  Partitioned
+    records carry a ``partitions`` fingerprint field: they are compared
+    against the serial executor at equal ``sim_jobs``
+    (``REPRO_SIM_PARALLEL=0``), never against the classic record.
+    ``instrument`` is ignored in this mode -- the testbeds live in
+    worker processes; the merged ``metrics`` snapshot still rolls up.
     """
     fn, quick_scale, full_scale = WORKLOADS[name]
+    if sim_jobs > 1 and name != "many_flows":
+        raise ValueError(
+            "sim_jobs > 1 is only supported by the many_flows workload, "
+            "not %r" % name)
     scale = quick_scale if quick else full_scale
+    workload_kwargs = {"sim_jobs": sim_jobs} if sim_jobs > 1 else {}
     overrides = _MODE_ENV[mode]
     saved = {key: os.environ.get(key) for key in overrides}
     os.environ.update(overrides)
@@ -559,7 +604,7 @@ def run_workload(name: str, quick: bool = False,
             gc.collect()
             gc.disable()
             try:
-                record = fn(scale, instrument=instrument)
+                record = fn(scale, instrument=instrument, **workload_kwargs)
             finally:
                 if gc_was_enabled:
                     gc.enable()
@@ -582,7 +627,8 @@ def run_workload(name: str, quick: bool = False,
 
 
 def run_suite(quick: bool = False, repeats: int = 1,
-              names=None, jobs: int = 1, prechange: bool = True) -> Dict:
+              names=None, jobs: int = 1, prechange: bool = True,
+              sim_jobs: int = 1) -> Dict:
     """Run every workload; returns the full report dict.
 
     ``jobs > 1`` shards the workloads across worker processes (see
@@ -595,6 +641,12 @@ def run_suite(quick: bool = False, repeats: int = 1,
     That leg is both the oracle (its fingerprints must match the
     compiled run byte-for-byte) and the denominator of the one speed
     ratio stable enough to *fail* on (see :func:`compare_to_baseline`).
+
+    ``sim_jobs > 1`` additionally runs partitioned ``many_flows`` legs
+    (serial oracle + parallel executor at ``sim_jobs`` partitions) and
+    attaches them as the report's ``parallel`` section.  The classic
+    workload records above are not affected -- the partitioned leg is
+    extra, gated on exact equality with its own serial oracle.
     """
     from ..spin.flowcache import flow_cache_enabled, flow_compile_enabled
     from .runner import run_wallclock_suite
@@ -607,8 +659,9 @@ def run_suite(quick: bool = False, repeats: int = 1,
     gated = [name for name in workload_names
              if prechange and name in COMPILED_WORKLOADS
              and flow_cache_enabled() and flow_compile_enabled()]
-    workloads, legs = run_wallclock_suite(
-        workload_names, gated, quick=quick, repeats=repeats, jobs=jobs)
+    workloads, legs, parallel_legs = run_wallclock_suite(
+        workload_names, gated, quick=quick, repeats=repeats, jobs=jobs,
+        sim_jobs=sim_jobs)
     report = {
         "schema_version": REPORT_SCHEMA_VERSION,
         "generated_by": "python -m repro.bench --wallclock",
@@ -622,6 +675,8 @@ def run_suite(quick: bool = False, repeats: int = 1,
                    ("wall_s", "events_per_sec", "fingerprint")}
             for name, leg in legs.items()
         }
+    if parallel_legs:
+        report["parallel"] = {"workload": "many_flows", "legs": parallel_legs}
     baseline = load_baseline()
     report["comparison"] = compare_to_baseline(report, baseline or {})
     return report

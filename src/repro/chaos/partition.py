@@ -1,0 +1,421 @@
+"""Chaos campaigns for the partitioned simulation core.
+
+A partition campaign splits the classic two-host T3 bed across two
+partitions joined by a :class:`repro.hw.link.BoundaryChannel` pair and
+drives a dedicated cross-boundary workload -- one byte-exact TCP stream
+plus one paced UDP echo conversation, both crossing the boundary -- with
+per-side impairments armed on the boundary halves (seeded
+``spec.seed + side * _WIRE_SEED_STRIDE``, same stride the classic
+campaigns use per wire).
+
+The existing :mod:`repro.chaos.workloads` drivers assume one global bed
+holding both endpoints; here each side builds only its own half
+(:func:`repro.bench.testbed.build_boundary_pair_partition`), so the
+traffic halves are partition-local mirrors of those drivers.  Payloads
+still derive from the seed alone, which is what lets the invariants
+check byte-exact delivery across a process boundary without any side
+channel.
+
+Three invariant families per campaign:
+
+* **Serial-oracle equality (the tentpole contract).**  The campaign runs
+  twice -- the in-process serial executor first, then the forked
+  parallel executor -- and the merged result lists must be identical,
+  rounds included.
+* **Byte-exact stream.**  The server half's received bytes must be a
+  prefix of (and, on graceful close, equal to) the seed-derived payload;
+  every UDP echo must be a payload the client actually sent.
+* **Cross-boundary frame conservation.**  Each half only *sends* on its
+  own channel and only *delivers* what the other half sent, so the
+  conservation law holds summed over both halves:
+  sum(carried - lost - flap_dropped + duplicated) == sum(delivered).
+
+``python -m repro.chaos --partition`` runs the fixed partition corpus.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import random
+from typing import Any, Dict, Generator, List, Optional
+
+from ..hw.link import ImpairmentConfig
+from ..net.headers import ip_aton
+from ..net.tcp.tcb import TcpState
+from .campaign import DRAIN_US, _WIRE_SEED_STRIDE
+from .workloads import TCP_PORT_BASE, UDP_PACE_US, UDP_PORT_BASE, \
+    _udp_datagram, make_payload
+
+__all__ = ["PartitionCampaignSpec", "build_partition_corpus",
+           "run_partition_campaign", "run_partition_corpus"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PartitionCampaignSpec:
+    """Everything needed to reproduce one partition campaign bit-for-bit."""
+
+    name: str
+    seed: int
+    os_name: str = "spin"          # "spin" | "unix" (both halves)
+    tcp_bytes: int = 12_288        # bytes of the cross-boundary stream
+    udp_count: int = 20            # paced echo round trips
+    duration_us: float = 2_000_000.0
+    propagation_us: float = 1.0    # boundary lookahead
+    config: Optional[ImpairmentConfig] = None  # armed on BOTH halves
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = dataclasses.asdict(self)
+        record["config"] = None if self.config is None \
+            else self.config.to_dict()
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "PartitionCampaignSpec":
+        record = dict(record)
+        if record["config"] is not None:
+            record["config"] = ImpairmentConfig.from_dict(record["config"])
+        return cls(**record)
+
+
+# ---------------------------------------------------------------------------
+# the partition-local workload halves
+# ---------------------------------------------------------------------------
+
+def _start_client_half(bed, spec: Dict[str, Any], shared: Dict[str, Any]):
+    """Side 0: TCP stream sender + UDP ping loop, both cross-boundary."""
+    engine = bed.engine
+    stack, host = bed.stacks[0], bed.hosts[0]
+    remote_ip = ip_aton("10.1.0.2")
+    payload = make_payload(spec["seed"] ^ 0x5DEECE66, spec["tcp_bytes"])
+    tcp = shared["tcp"] = {"sent": 0, "fin_sent": False, "reset": False,
+                           "state": None}
+    # Raw echo payloads in arrival order; classified valid/invalid at
+    # result time (an ephemeral handler may not call out to a closure).
+    udp = shared["udp"] = {"sent": 0, "raw": []}
+    tcbs = shared["tcbs"]
+
+    def connect() -> None:
+        tcb = stack.tcp.connect(remote_ip, TCP_PORT_BASE)
+        tcbs.append(tcb)
+        tcp["tcb"] = tcb
+
+        def mark_reset() -> None:
+            tcp["reset"] = True
+        tcb.on_reset = mark_reset
+
+        def pump(_space: int = 0) -> None:
+            try:
+                while tcp["sent"] < len(payload) and tcb.send_space > 0:
+                    n = tcb.send(payload[tcp["sent"]:tcp["sent"] + 8192])
+                    if n == 0:
+                        break
+                    tcp["sent"] += n
+                if tcp["sent"] >= len(payload) and not tcp["fin_sent"]:
+                    tcp["fin_sent"] = True
+                    tcb.close()
+            except RuntimeError as exc:  # connection died under us
+                shared["errors"].append("tcp-client: %s" % exc)
+        tcb.on_established = pump
+        tcb.on_sendable = pump
+
+    echoes_raw = udp["raw"]
+    if bed.os_name == "spin":
+        from ..core.manager import Credential
+        from ..lang.ephemeral import ephemeral
+
+        @ephemeral
+        def client_handler(m, off, src_ip, src_port, dst_ip, dst_port):
+            echoes_raw.append(bytes(m.to_bytes()[off:]))
+        client_ep = stack.udp_manager.bind(
+            Credential("chaos-part-ping"), UDP_PORT_BASE + 1, client_handler)
+
+        def send_ping(datagram: bytes) -> Generator:
+            yield from host.kernel_path(
+                lambda: client_ep.send(datagram, remote_ip, UDP_PORT_BASE))
+    else:
+        client_sock = bed.sockets[0].udp_socket()
+
+        def client_rx_loop() -> Generator:
+            while True:
+                data, _addr = yield from client_sock.recvfrom()
+                echoes_raw.append(bytes(data))
+
+        def send_ping(datagram: bytes) -> Generator:
+            if udp["sent"] == 0:
+                yield from client_sock.bind(UDP_PORT_BASE + 1)
+                engine.process(client_rx_loop(), name="chaos-part-rx")
+            yield from client_sock.sendto(datagram,
+                                          (remote_ip, UDP_PORT_BASE))
+
+    def drive() -> Generator:
+        yield from host.kernel_path(connect)
+        for seq in range(spec["udp_count"]):
+            yield from send_ping(_udp_datagram("udp0", seq))
+            udp["sent"] += 1
+            yield engine.pooled_timeout(UDP_PACE_US)
+    engine.process(drive(), name="chaos-part-client")
+
+
+def _start_server_half(bed, spec: Dict[str, Any], shared: Dict[str, Any]):
+    """Side 1: TCP sink + UDP echo responder."""
+    engine = bed.engine
+    stack = bed.stacks[0]
+    tcp = shared["tcp"] = {"received": bytearray(), "reset": False,
+                           "state": None}
+    tcbs = shared["tcbs"]
+
+    def on_accept(tcb) -> None:
+        tcbs.append(tcb)
+        tcp["tcb"] = tcb
+        tcb.on_data = tcp["received"].extend
+
+        def mark_reset() -> None:
+            tcp["reset"] = True
+        tcb.on_reset = mark_reset
+        tcb.on_close = tcb.close   # peer FIN: close our half too
+    stack.tcp.listen(TCP_PORT_BASE, on_accept)
+
+    if bed.os_name == "spin":
+        from ..core.manager import Credential
+        from ..lang.ephemeral import ephemeral
+        server_ep = None
+
+        @ephemeral
+        def echo_handler(m, off, src_ip, src_port, dst_ip, dst_port):
+            server_ep.send(bytes(m.to_bytes()[off:]), src_ip, src_port)
+        server_ep = stack.udp_manager.bind(
+            Credential("chaos-part-echo"), UDP_PORT_BASE, echo_handler)
+    else:
+        server_sock = bed.sockets[0].udp_socket()
+
+        def server_loop() -> Generator:
+            yield from server_sock.bind(UDP_PORT_BASE)
+            while True:
+                data, addr = yield from server_sock.recvfrom()
+                yield from server_sock.sendto(data, addr)
+        engine.process(server_loop(), name="chaos-part-srv")
+
+
+def _boundary_partition(index: int, n_partitions: int, spec: Dict[str, Any]):
+    """Build one side of the campaign (runs inside the owning process)."""
+    from ..bench.testbed import build_boundary_pair_partition
+    from ..sim import Partition, PartitionEngine
+
+    if n_partitions != 2:
+        raise ValueError("partition campaigns are two-sided, got %d"
+                         % n_partitions)
+    engine = PartitionEngine(index)
+    bed = build_boundary_pair_partition(
+        spec["os_name"], index, engine,
+        propagation_us=spec["propagation_us"])
+    channel = bed.medium
+    if spec["config"] is not None:
+        channel.set_impairments(
+            ImpairmentConfig.from_dict(spec["config"]),
+            seed=spec["seed"] + index * _WIRE_SEED_STRIDE)
+
+    shared: Dict[str, Any] = {"errors": [], "tcbs": []}
+    if index == 0:
+        _start_client_half(bed, spec, shared)
+    else:
+        _start_server_half(bed, spec, shared)
+
+    def control() -> Generator:
+        yield engine.pooled_timeout(spec["duration_us"])
+        # Mirror of campaign._shutdown, restricted to this host.
+        host, stack = bed.hosts[0], bed.stacks[0]
+        for tcb in list(stack.tcp.connections.values()):
+            if tcb.state not in (TcpState.CLOSED, TcpState.TIME_WAIT):
+                host.spawn_kernel_path(tcb.close, name="chaos-close")
+        yield engine.pooled_timeout(DRAIN_US)
+    main = engine.process(control(), name="chaos-part-control")
+
+    def result() -> Dict[str, Any]:
+        main.value  # surfaces any exception that escaped the control loop
+        tcp = dict(shared["tcp"])
+        tcb = tcp.pop("tcb", None)
+        tcp["state"] = tcb.state.name if tcb is not None else None
+        if "received" in tcp:
+            body = bytes(tcp.pop("received"))
+            tcp["received_len"] = len(body)
+            tcp["received_sha"] = hashlib.sha256(body).hexdigest()[:16]
+        record: Dict[str, Any] = {
+            "side": index,
+            "final_now_us": engine.now,
+            "events": engine.events_processed,
+            "frames_sent": engine.frames_sent,
+            "frames_injected": engine.frames_injected,
+            "boundary": channel.fault_counters(),
+            "tcp": tcp,
+            "segments_sent": sum(t.segments_sent for t in shared["tcbs"]),
+            "retransmits": sum(t.retransmits for t in shared["tcbs"]),
+            "checksum_errors": bed.stacks[0].tcp.checksum_errors,
+            "errors": list(shared["errors"]),
+        }
+        if "udp" in shared:
+            udp = shared["udp"]
+            valid = {_udp_datagram("udp0", seq)
+                     for seq in range(spec["udp_count"])}
+            good = [e for e in udp["raw"] if e in valid]
+            record["udp"] = {
+                "sent": udp["sent"],
+                "echoes": len(good),
+                "echo_sha": hashlib.sha256(b"".join(good)).hexdigest()[:16],
+                "invalid": len(udp["raw"]) - len(good),
+            }
+        return record
+
+    return Partition(engine, done=lambda: main.triggered, result=result)
+
+
+# ---------------------------------------------------------------------------
+# invariants
+# ---------------------------------------------------------------------------
+
+def _expected_deliveries(counters: Dict[str, int]) -> int:
+    return (counters["frames_carried"] - counters["frames_lost"]
+            - counters["frames_flap_dropped"]
+            + counters["frames_duplicated"])
+
+
+def check_partition_invariants(spec: PartitionCampaignSpec,
+                               results: List[Dict]) -> List[str]:
+    """Cross-partition invariants over the merged result list."""
+    problems: List[str] = []
+    client, server = results
+
+    # -- cross-boundary frame conservation ------------------------------
+    expected = sum(_expected_deliveries(r["boundary"]) for r in results)
+    delivered = sum(r["boundary"]["frames_delivered"] for r in results)
+    if expected != delivered:
+        problems.append(
+            "boundary frame conservation: counters imply %d deliveries "
+            "across both halves, saw %d" % (expected, delivered))
+    sent = sum(r["frames_sent"] for r in results)
+    injected = sum(r["frames_injected"] for r in results)
+    if sent != injected:
+        problems.append(
+            "coordinator conservation: partitions posted %d frames but "
+            "%d were injected" % (sent, injected))
+
+    # -- byte-exact stream ----------------------------------------------
+    payload = make_payload(spec.seed ^ 0x5DEECE66, spec.tcp_bytes)
+    received_len = server["tcp"]["received_len"]
+    if received_len > len(payload):
+        problems.append("server received %d stream bytes, client only "
+                        "offers %d" % (received_len, len(payload)))
+    else:
+        prefix_sha = hashlib.sha256(payload[:received_len]).hexdigest()[:16]
+        if server["tcp"]["received_sha"] != prefix_sha:
+            problems.append(
+                "stream corruption: server bytes are not a prefix of the "
+                "seed-derived payload (sha %s != %s over %d bytes)"
+                % (server["tcp"]["received_sha"], prefix_sha, received_len))
+    graceful = (not client["tcp"]["reset"] and not server["tcp"]["reset"]
+                and client["tcp"]["fin_sent"]
+                and client["tcp"]["state"] == "CLOSED"
+                and server["tcp"]["state"] == "CLOSED")
+    if graceful and received_len != len(payload):
+        problems.append(
+            "both ends closed cleanly but the server delivered %d of %d "
+            "stream bytes" % (received_len, len(payload)))
+
+    # -- UDP echo validity ----------------------------------------------
+    udp = client["udp"]
+    if udp["invalid"]:
+        problems.append("%d UDP echoes were payloads the client never sent"
+                        % udp["invalid"])
+    if udp["echoes"] > udp["sent"] and not (
+            spec.config and spec.config.duplicate_rate):
+        problems.append("%d echoes for %d pings with no duplication armed"
+                        % (udp["echoes"], udp["sent"]))
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# the corpus and the runner
+# ---------------------------------------------------------------------------
+
+#: (os, impairment flavor) rotation for the partition corpus.
+_ROTATION = (("spin", "clean"), ("unix", "clean"), ("spin", "loss"),
+             ("unix", "loss"), ("spin", "flap"), ("unix", "flap"))
+
+
+def _flavored_config(flavor: str, rng: random.Random,
+                     duration_us: float) -> Optional[ImpairmentConfig]:
+    if flavor == "clean":
+        return None
+    if flavor == "loss":
+        return ImpairmentConfig(
+            loss_good=rng.uniform(0.01, 0.05),
+            loss_bad=rng.uniform(0.01, 0.05),
+            jitter_us=rng.uniform(10.0, 200.0),
+            duplicate_rate=rng.uniform(0.0, 0.03),
+            duplicate_gap_us=rng.uniform(50.0, 300.0),
+        )
+    if flavor == "flap":
+        # The window must overlap live traffic (the TCP stream and the
+        # paced UDP pings all happen in the first ~60 ms), or the flap
+        # tests nothing; recovery then has the whole drain to finish.
+        down = rng.uniform(1_000.0, 10_000.0)
+        return ImpairmentConfig(
+            flaps=((down, down + rng.uniform(20_000.0, 50_000.0)),))
+    raise ValueError("unknown impairment flavor %r" % flavor)
+
+
+def build_partition_corpus(base_seed: int = 1996,
+                           count: int = 6) -> List[PartitionCampaignSpec]:
+    """The fixed partition-campaign corpus: ``count`` over the rotation."""
+    specs = []
+    for index in range(count):
+        os_name, flavor = _ROTATION[index % len(_ROTATION)]
+        seed = base_seed + _WIRE_SEED_STRIDE * 37 * index
+        duration_us = 2_000_000.0
+        specs.append(PartitionCampaignSpec(
+            name="p%03d-%s" % (index, flavor), seed=seed, os_name=os_name,
+            duration_us=duration_us,
+            config=_flavored_config(flavor, random.Random(seed), duration_us),
+        ))
+    return specs
+
+
+def _run(spec: PartitionCampaignSpec, parallel: Optional[bool]):
+    from ..sim import PartitionedSimulation
+    simulation = PartitionedSimulation(
+        _boundary_partition, 2, spec.to_dict(), parallel=parallel)
+    results = simulation.run()
+    return results, simulation.rounds
+
+
+def run_partition_campaign(spec: PartitionCampaignSpec) -> Dict[str, Any]:
+    """Run one campaign under both executors; returns the verdict record."""
+    serial_results, serial_rounds = _run(spec, parallel=False)
+    current_results, current_rounds = _run(spec, parallel=None)
+    violations: List[str] = []
+    if serial_results != current_results or serial_rounds != current_rounds:
+        diverged = [str(i) for i, (s, c) in
+                    enumerate(zip(serial_results, current_results)) if s != c]
+        violations.append(
+            "parallel executor diverged from the serial oracle "
+            "(sides %s%s)" % (", ".join(diverged) or "-",
+                              "; round counts differ"
+                              if serial_rounds != current_rounds else ""))
+    violations.extend(check_partition_invariants(spec, serial_results))
+    return {
+        "spec": spec.to_dict(),
+        "passed": not violations,
+        "violations": violations,
+        "rounds": serial_rounds,
+        "results": serial_results,
+    }
+
+
+def run_partition_corpus(specs: List[PartitionCampaignSpec]) -> List[Dict]:
+    """Run the corpus serially, in spec order.
+
+    Always in-process: each campaign's parallel leg forks its own
+    partition workers, so pooling campaigns on top would stack process
+    trees without speedup.
+    """
+    return [run_partition_campaign(spec) for spec in specs]

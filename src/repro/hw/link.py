@@ -25,7 +25,7 @@ from ..sim import Engine, Resource
 from .alpha import MICROSECONDS_PER_SECOND
 
 __all__ = ["Frame", "EthernetSegment", "PointToPointLink", "Switch", "SwitchPort",
-           "BROADCAST", "ImpairmentConfig", "ImpairmentModel"]
+           "BoundaryChannel", "BROADCAST", "ImpairmentConfig", "ImpairmentModel"]
 
 #: Link-level broadcast address.
 BROADCAST = "ff:ff:ff:ff:ff:ff"
@@ -364,6 +364,30 @@ class _Medium:
         self.frames_carried += 1
         self.bytes_carried += frame.wire_bytes
 
+    # -- the one propagation-delay delivery site ---------------------------
+
+    def _delivery(self, sink, frame: Frame, delay_us: float) -> Generator:
+        """Deliver ``frame`` to ``sink`` after ``delay_us`` on the wire.
+
+        The single delivery coroutine shared by every medium (Ethernet
+        fan-out, point-to-point peer, switch-port ingress); ``sink`` is the
+        receiving callable (``nic.frame_on_wire`` or ``switch.accept``).
+        """
+        yield self.engine.pooled_timeout(delay_us)
+        self.frames_delivered += 1
+        sink(frame)
+
+    def _spawn_delivery(self, sink, frame: Frame, delay_us: float,
+                        name: str) -> None:
+        """Launch one delayed delivery.
+
+        This is the single site boundary media tap:
+        :class:`BoundaryChannel` overrides it to post the frame into the
+        partition coordinator's mailbox instead of spawning a local
+        coroutine.
+        """
+        self.engine.process(self._delivery(sink, frame, delay_us), name=name)
+
 
 class EthernetSegment(_Medium):
     """Shared half-duplex bus: one transmission at a time, broadcast."""
@@ -393,20 +417,14 @@ class EthernetSegment(_Medium):
             for extra_us, copy in self._impaired_outcomes(frame):
                 for nic in self.nics:
                     if nic is not sender:
-                        engine.process(self._delivery(nic, copy, extra_us),
-                                       name="eth-deliver")
+                        self._spawn_delivery(
+                            nic.frame_on_wire, copy,
+                            self.propagation_us + extra_us, "eth-deliver")
             return
         for nic in self.nics:
             if nic is not sender:
-                engine.process(self._delivery(nic, frame), name="eth-deliver")
-
-    def _deliver_later(self, nic, frame: Frame) -> None:
-        self.engine.process(self._delivery(nic, frame), name="eth-deliver")
-
-    def _delivery(self, nic, frame: Frame, extra_us: float = 0.0) -> Generator:
-        yield self.engine.pooled_timeout(self.propagation_us + extra_us)
-        self.frames_delivered += 1
-        nic.frame_on_wire(frame)
+                self._spawn_delivery(nic.frame_on_wire, frame,
+                                     self.propagation_us, "eth-deliver")
 
 
 class PointToPointLink(_Medium):
@@ -442,16 +460,11 @@ class PointToPointLink(_Medium):
             return
         if self._impairments is not None:
             for extra_us, copy in self._impaired_outcomes(frame):
-                self.engine.process(
-                    self._deliver_to(peer, copy, self.propagation_us + extra_us),
-                    name="p2p-deliver")
+                self._spawn_delivery(peer.frame_on_wire, copy,
+                                     self.propagation_us + extra_us,
+                                     "p2p-deliver")
             return
         yield self.engine.pooled_timeout(self.propagation_us)
-        self.frames_delivered += 1
-        peer.frame_on_wire(frame)
-
-    def _deliver_to(self, peer, frame: Frame, delay_us: float) -> Generator:
-        yield self.engine.pooled_timeout(delay_us)
         self.frames_delivered += 1
         peer.frame_on_wire(frame)
 
@@ -489,16 +502,11 @@ class SwitchPort(_Medium):
             return
         if self._impairments is not None:
             for extra_us, copy in self._impaired_outcomes(frame):
-                self.engine.process(
-                    self._accept_later(copy, self.propagation_us + extra_us),
-                    name="port-deliver")
+                self._spawn_delivery(self.switch.accept, copy,
+                                     self.propagation_us + extra_us,
+                                     "port-deliver")
             return
         yield self.engine.pooled_timeout(self.propagation_us)
-        self.frames_delivered += 1
-        self.switch.accept(frame)
-
-    def _accept_later(self, frame: Frame, delay_us: float) -> Generator:
-        yield self.engine.pooled_timeout(delay_us)
         self.frames_delivered += 1
         self.switch.accept(frame)
 
@@ -510,6 +518,98 @@ class SwitchPort(_Medium):
         grant.release()
         yield self.engine.pooled_timeout(self.propagation_us)
         self.frames_forwarded_in += 1
+        self.nic.frame_on_wire(frame)
+
+
+class BoundaryChannel(_Medium):
+    """One local half of a medium whose other end lives on another engine.
+
+    A cross-partition link is two ``BoundaryChannel`` halves sharing a
+    ``channel_id``, one per partition, each attached to its local NIC.
+    The sending half behaves exactly like a :class:`PointToPointLink`
+    direction -- per-direction serialization, wire time, fault model,
+    impairments -- but the propagation leg crosses engines: instead of a
+    local delivery coroutine, the frame is posted into the partition
+    engine's outbox stamped with its absolute arrival time
+    (``now + propagation_us + impairment extra``), and the coordinator
+    injects it into the remote half, which rebuilds the frame and hands
+    it to its NIC at that exact instant.
+
+    ``propagation_us`` doubles as the conservative **lookahead**: no
+    frame offered to this channel can arrive on the remote engine sooner
+    than the sender's clock plus ``propagation_us``.  It must therefore
+    be strictly positive -- a zero-propagation boundary would admit no
+    safe window at all (and stall the round protocol), so it is rejected
+    at construction.
+    """
+
+    def __init__(self, engine, channel_id: str, bandwidth_bps: float,
+                 propagation_us: float = 1.0):
+        if propagation_us <= 0.0:
+            raise ValueError(
+                "boundary channel %r needs strictly positive propagation_us "
+                "for lookahead, got %r" % (channel_id, propagation_us))
+        super().__init__(engine, bandwidth_bps, propagation_us)
+        self.channel_id = channel_id
+        self._lane = Resource(engine, capacity=1)
+        self._seq = 0
+        engine.register_channel(self)
+
+    @property
+    def lookahead_us(self) -> float:
+        return self.propagation_us
+
+    def attach(self, nic) -> None:
+        if self.nics:
+            raise ValueError("boundary channel half already has a NIC")
+        super().attach(nic)
+
+    @property
+    def nic(self):
+        return self.nics[0]
+
+    def transmit(self, sender, frame: Frame) -> Generator:
+        """Local NIC -> remote half (impairments apply on the send side)."""
+        grant = self._lane.request()
+        yield grant
+        yield self.engine.pooled_timeout(self._wire_time_us(frame.wire_bytes))
+        grant.release()
+        self._account(frame)
+        frame = self._apply_faults(frame)
+        if frame is None:
+            return
+        if self._impairments is not None:
+            for extra_us, copy in self._impaired_outcomes(frame):
+                self._spawn_delivery(None, copy,
+                                     self.propagation_us + extra_us,
+                                     "boundary-post")
+            return
+        self._spawn_delivery(None, frame, self.propagation_us, "boundary-post")
+
+    def _spawn_delivery(self, sink, frame: Frame, delay_us: float,
+                        name: str) -> None:
+        """The boundary tap on the shared delivery site: post, don't spawn.
+
+        Impairment ``extra_us`` is always non-negative, so the arrival
+        time never undercuts the ``propagation_us`` lookahead the
+        coordinator plans with.
+        """
+        engine = self.engine
+        self._seq += 1
+        engine.send_boundary(
+            self.channel_id, engine.now + delay_us, self._seq,
+            (frame.data, frame.src_addr, frame.dst_addr, frame.wire_bytes))
+
+    def deliver(self, payload) -> None:
+        """Rebuild an injected frame and hand it to the local NIC.
+
+        Called by the partition engine when the arrival event fires; the
+        clock already sits at the exact arrival instant the sender
+        computed.
+        """
+        data, src_addr, dst_addr, wire_bytes = payload
+        frame = Frame(data, src_addr, dst_addr, wire_bytes=wire_bytes)
+        self.frames_delivered += 1
         self.nic.frame_on_wire(frame)
 
 

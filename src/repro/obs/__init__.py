@@ -29,6 +29,7 @@ from .registry import (
     Histogram,
     MetricError,
     MetricsRegistry,
+    merge_snapshots,
 )
 from .schema import EXPORT_SCHEMA, undocumented_metrics
 from .spans import Span, SpanTracer
@@ -48,6 +49,7 @@ __all__ = [
     "SpanTracer",
     "install_hook",
     "instrument_testbed",
+    "merge_snapshots",
     "undocumented_metrics",
     "uninstall_hook",
 ]

@@ -32,6 +32,7 @@ __all__ = [
     "Histogram",
     "MetricError",
     "MetricsRegistry",
+    "merge_snapshots",
 ]
 
 #: Metric names are dotted lowercase paths with at least two components:
@@ -285,3 +286,51 @@ class MetricsRegistry:
 
     def to_json(self) -> str:
         return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+
+
+def merge_snapshots(snapshots: Sequence[Dict[str, Dict]]) -> Dict[str, Dict]:
+    """Roll per-partition registry snapshots up into one testbed view.
+
+    The partitioned simulation mode gives every partition its own
+    registry (live instruments cannot cross process boundaries); this
+    merges their :meth:`MetricsRegistry.snapshot` outputs the same way
+    aggregating gauge sources already roll per-host counters up within
+    one registry: counters and gauges sum, histograms with identical
+    bounds sum bucket-wise (``counts``/``count``/``sum``).  The merge is
+    order-independent for int values, and partition results are always
+    combined in partition-index order so float sums are deterministic
+    too.
+    """
+    merged: Dict[str, Dict] = {}
+    for snapshot in snapshots:
+        for name, record in snapshot.items():
+            kind = record["type"]
+            value = record["value"]
+            current = merged.get(name)
+            if current is None:
+                if kind == "histogram":
+                    value = {
+                        "bounds": list(value["bounds"]),
+                        "counts": list(value["counts"]),
+                        "count": value["count"],
+                        "sum": value["sum"],
+                    }
+                merged[name] = {"type": kind, "value": value}
+                continue
+            if current["type"] != kind:
+                raise MetricError(
+                    "metric %r is a %s in one partition and a %s in another"
+                    % (name, current["type"], kind))
+            if kind == "histogram":
+                target = current["value"]
+                if list(target["bounds"]) != list(value["bounds"]):
+                    raise MetricError(
+                        "histogram %r has mismatched bounds across partitions"
+                        % name)
+                target["counts"] = [a + b for a, b in
+                                    zip(target["counts"], value["counts"])]
+                target["count"] += value["count"]
+                target["sum"] += value["sum"]
+            else:
+                current["value"] += value
+    return dict(sorted(merged.items()))

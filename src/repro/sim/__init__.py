@@ -4,6 +4,7 @@ Public surface::
 
     from repro.sim import Engine, Event, Timeout, Process, Interrupt
     from repro.sim import Resource, Store, Signal
+    from repro.sim import SchedulerCore, PartitionEngine, PartitionedSimulation
 """
 
 from .engine import (
@@ -16,7 +17,14 @@ from .engine import (
     SimulationError,
     Timeout,
 )
+from .partition import (
+    Partition,
+    PartitionEngine,
+    PartitionedSimulation,
+    sim_parallel_enabled,
+)
 from .resources import Resource, ResourceRequest, Signal, Store
+from .scheduler import SchedulerCore
 from .timers import TimerHandle, TimerWheel
 
 __all__ = [
@@ -25,13 +33,18 @@ __all__ = [
     "Engine",
     "Event",
     "Interrupt",
+    "Partition",
+    "PartitionEngine",
+    "PartitionedSimulation",
     "Process",
     "Resource",
     "ResourceRequest",
     "Signal",
+    "SchedulerCore",
     "SimulationError",
     "Store",
     "Timeout",
     "TimerHandle",
     "TimerWheel",
+    "sim_parallel_enabled",
 ]

@@ -27,9 +27,17 @@ with the numbers in the paper.
 from __future__ import annotations
 
 import heapq
-from collections import deque
 from types import GeneratorType
-from typing import Any, Callable, Deque, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, Optional
+
+from .scheduler import (
+    SchedulerCore,
+    SimulationError,
+    _PENDING,
+    _PROCESSED,
+    _TRIGGERED,
+    _register_pooled,
+)
 
 __all__ = [
     "Engine",
@@ -43,10 +51,6 @@ __all__ = [
 ]
 
 
-class SimulationError(Exception):
-    """Base class for errors raised by the simulation machinery itself."""
-
-
 class Interrupt(Exception):
     """Thrown into a process when it is interrupted.
 
@@ -58,12 +62,6 @@ class Interrupt(Exception):
     def __init__(self, cause: Any = None):
         super().__init__(cause)
         self.cause = cause
-
-
-# Event lifecycle states.
-_PENDING = 0
-_TRIGGERED = 1  # scheduled on the heap, not yet processed
-_PROCESSED = 2
 
 
 class _Bootstrap:
@@ -170,6 +168,12 @@ class _PooledEvent(Event):
     """
 
     __slots__ = ()
+
+
+# The scheduling core lives in repro.sim.scheduler but hands out and
+# recycles these events; register the concrete class with it (keeping the
+# class here preserves the Event hierarchy without an import cycle).
+_register_pooled(_PooledEvent)
 
 
 class Timeout(Event):
@@ -344,51 +348,22 @@ class AllOf(Event):
             self.succeed({evt: evt._value for evt in self._events})
 
 
-class Engine:
-    """The simulation engine: clock plus pending-event heap.
+class Engine(SchedulerCore):
+    """The serial simulation engine: the scheduling core plus the
+    process-interaction surface.
 
-    Heap entries are ordered by ``(time, priority, sequence)``.  Priority is
-    currently always 0 for events scheduled through the public interface;
-    the sequence number guarantees FIFO order among simultaneous events,
-    which in turn makes every simulation run deterministic.
-
-    Fast path: most events in a protocol simulation fire "now" (zero-delay
-    pokes, already-charged completions), so zero-delay default-priority
-    events bypass the heap into a FIFO deque.  Every scheduled event still
-    carries a global sequence number and :meth:`step` merges the two
-    structures in exact ``(time, priority, sequence)`` order, so the
-    observable execution order -- and therefore every simulated-time
-    number -- is identical to the all-heap implementation.
+    All scheduling mechanics -- clock, ``(time, priority, sequence)``
+    heap, zero-delay FIFO fast path, pooled timeouts, timer wheel --
+    live in :class:`repro.sim.scheduler.SchedulerCore` and are shared
+    verbatim with the partition-local engine of the conservative
+    parallel mode.  This class adds what a *simulation* (as opposed to a
+    bare scheduler) needs: event/process factories, the active-process
+    pointer, ``run_process``, and metrics registration.
     """
 
-    #: Upper bound on recycled events kept in the pool.
-    _POOL_LIMIT = 1024
-
     def __init__(self):
-        self.now: float = 0.0
-        self._heap: List[Tuple[float, int, int, Event]] = []
-        self._now_queue: Deque[Tuple[int, Event]] = deque()
-        self._sequence = 0
+        super().__init__()
         self._active_process: Optional[Process] = None
-        self._pool: List[_PooledEvent] = []
-        self._wheel = None  # lazily-created TimerWheel (see .wheel)
-        self.events_processed = 0
-
-    @property
-    def wheel(self):
-        """The engine's hierarchical timer wheel, created on first use.
-
-        Deadlines parked here (kernel timers: retransmit, delayed ACK,
-        persist, keepalive, TIME_WAIT) schedule and cancel in O(1) and
-        cascade lazily into the main heap with the exact
-        ``(time, priority, sequence)`` tuple they claimed at schedule
-        time, so execution order is bit-identical to heap scheduling.
-        """
-        wheel = self._wheel
-        if wheel is None:
-            from .timers import TimerWheel
-            wheel = self._wheel = TimerWheel(self)
-        return wheel
 
     # -- factory helpers -------------------------------------------------
 
@@ -397,33 +372,6 @@ class Engine:
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         return Timeout(self, delay, value)
-
-    def pooled_timeout(self, delay: float, value: Any = None) -> Event:
-        """A timeout drawn from the engine's recycle pool.
-
-        Behaves exactly like :meth:`timeout` on the simulated timeline but
-        allocates nothing in the steady state: the event object is recycled
-        the moment its callbacks have run.  Callers must *not* keep a
-        reference past the firing (no ``.value`` reads later, no use in
-        ``any_of``/``all_of``); it is meant for the hot yield-and-forget
-        pattern ``yield engine.pooled_timeout(us)`` inside processes.
-        """
-        if delay < 0:
-            raise ValueError("timeout delay must be non-negative, got %r" % delay)
-        # _checkout + _enqueue, inlined: this is called once per simulated
-        # CPU hold and per link delay, the hottest allocation site.
-        pool = self._pool
-        event = pool.pop() if pool else _PooledEvent(self)
-        event._state = _TRIGGERED
-        event._value = value
-        event._exception = None
-        self._sequence += 1
-        if delay == 0.0:
-            self._now_queue.append((self._sequence, event))
-        else:
-            heapq.heappush(self._heap,
-                           (self.now + delay, 0, self._sequence, event))
-        return event
 
     def process(self, generator: Generator, name: str = "") -> Process:
         return Process(self, generator, name)
@@ -438,136 +386,7 @@ class Engine:
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
-    # -- scheduling -------------------------------------------------------
-
-    def _enqueue(self, delay: float, event: Event, priority: int = 0) -> None:
-        self._sequence += 1
-        if delay == 0.0 and priority == 0:
-            # Zero-delay events fire at the current time; the deque keeps
-            # them out of the heap.  All entries sit at (self.now, 0, seq).
-            self._now_queue.append((self._sequence, event))
-        else:
-            heapq.heappush(self._heap, (self.now + delay, priority, self._sequence, event))
-
-    def _checkout(self, value: Any, exception: Optional[BaseException]) -> "_PooledEvent":
-        pool = self._pool
-        if pool:
-            event = pool.pop()
-        else:
-            event = _PooledEvent(self)
-        event._state = _TRIGGERED
-        event._value = value
-        event._exception = exception
-        return event
-
-    def _poke(self, callback: Callable[[Event], None], value: Any = None,
-              exception: Optional[BaseException] = None) -> Event:
-        """Fire ``callback`` at the current time via a recycled event."""
-        pool = self._pool
-        event = pool.pop() if pool else _PooledEvent(self)
-        event._state = _TRIGGERED
-        event._value = value
-        event._exception = exception
-        event.callbacks.append(callback)
-        self._sequence += 1
-        self._now_queue.append((self._sequence, event))
-        return event
-
     # -- execution ----------------------------------------------------------
-
-    def step(self) -> None:
-        """Process the single next event, advancing the clock."""
-        queue = self._now_queue
-        heap = self._heap
-        wheel = self._wheel
-        if wheel is not None and wheel._live:
-            # A parked deadline could precede the heap/queue candidate:
-            # spill everything due by then so the heap merge sees it.
-            if queue:
-                if wheel._next_due <= self.now:
-                    wheel._spill(self.now)
-            elif heap:
-                if wheel._next_due <= heap[0][0]:
-                    wheel._spill(heap[0][0])
-            else:
-                wheel._spill_next()
-        from_heap = True
-        if queue:
-            # Queue entries sit at (self.now, 0, seq); the heap head runs
-            # first only when it is globally earlier in that order.
-            if heap:
-                head = heap[0]
-                when = head[0]
-                from_heap = (when < self.now or
-                             (when == self.now and
-                              (head[1] < 0 or
-                               (head[1] == 0 and head[2] < queue[0][0]))))
-            else:
-                from_heap = False
-        if from_heap:
-            if not heap:
-                raise SimulationError("step() called with no pending events")
-            when, _priority, _seq, event = heapq.heappop(heap)
-            self.now = when
-        else:
-            _seq, event = queue.popleft()
-        self.events_processed += 1
-        # Event._process, inlined: this is the innermost loop of the whole
-        # simulator and the extra call frame is measurable.
-        event._state = _PROCESSED
-        if type(event) is _PooledEvent:
-            # Pooled events reuse their callbacks list across recycles
-            # (callers may not retain the event, so nothing can append
-            # after the firing).
-            callbacks = event.callbacks
-            if callbacks:
-                for callback in callbacks:
-                    callback(event)
-                callbacks.clear()
-            event._value = None
-            event._exception = None
-            pool = self._pool
-            if len(pool) < self._POOL_LIMIT:
-                pool.append(event)
-        else:
-            callbacks = event.callbacks
-            event.callbacks = []
-            for callback in callbacks:
-                callback(event)
-
-    def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or the clock passes ``until``.
-
-        When ``until`` is given the clock is left exactly at ``until`` even
-        if no event fires at that instant, mirroring the behaviour expected
-        by utilization sampling.
-        """
-        if until is not None and until < self.now:
-            raise ValueError("cannot run until %r; clock is already at %r" % (until, self.now))
-        step = self.step
-        if until is None:
-            while self._heap or self._now_queue or (
-                    self._wheel is not None and self._wheel._live):
-                step()
-            return
-        while True:
-            if self._now_queue:
-                # Queue entries fire at self.now, which never exceeds until.
-                step()
-                continue
-            wheel = self._wheel
-            if wheel is not None and wheel._live and wheel._next_due <= until:
-                # Park-to-heap everything that could fire inside the
-                # window; afterwards _next_due is strictly beyond it.
-                wheel._spill(until)
-            heap = self._heap
-            if not heap:
-                break
-            if heap[0][0] > until:
-                self.now = until
-                return
-            step()
-        self.now = until
 
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Convenience: spawn ``generator`` and run until it finishes.

@@ -1,0 +1,471 @@
+"""Conservative parallel simulation: partition engines + coordinator.
+
+The testbed itself is sharded: hosts are assigned to *partitions*, each
+partition owns a private :class:`PartitionEngine` (a full serial engine --
+same :class:`~repro.sim.scheduler.SchedulerCore` scheduling code, same
+event classes), and the only coupling between partitions is *boundary
+channels* (see :class:`repro.hw.link.BoundaryChannel`): media whose two
+halves live on different engines and whose ``propagation_us`` is the
+**lookahead** of classic conservative (Chandy-Misra-Bryant style)
+synchronization.
+
+Synchronization is the bulk-synchronous safe-window variant.  Each round:
+
+1. every partition reports its next pending event time and drains its
+   outbox of cross-boundary frames (each stamped with its exact arrival
+   time on the receiving engine);
+2. the coordinator routes frames to their destination partitions and
+   computes each partition's *effective* next time -- the earlier of its
+   reported next event and any frame about to be injected into it;
+3. the safe bound is ``min over p of (effective_next[p] + lookahead[p])``
+   where ``lookahead[p]`` is the minimum propagation delay of p's
+   boundary channels: no partition can emit a frame that arrives before
+   its own next event plus its cheapest outbound link, so every event
+   strictly below the bound is causally safe;
+4. every partition injects its routed frames (sorted by
+   ``(arrival, channel, sender, seq)`` so injection order -- and hence
+   engine sequence numbers -- is identical everywhere) and runs
+   ``run_window(bound)``.
+
+Progress is guaranteed because boundary lookahead is strictly positive
+(zero-propagation boundary media are rejected at construction): the bound
+always lies strictly beyond the globally earliest pending event, so every
+round processes at least one event somewhere.
+
+Two executors run the identical round algorithm:
+
+* the **serial executor** keeps every partition in-process and iterates
+  them in index order -- this is the bit-exactness oracle
+  (``REPRO_SIM_PARALLEL=0``);
+* the **parallel executor** forks one worker process per partition and
+  drives the same rounds over pipes, overlapping the windows in wall
+  time.
+
+Each partition's event stream is a pure function of its initial state and
+the sorted frame-injection sequence, and both executors feed every
+partition byte-identical injections and bounds -- so their results are
+equal by construction, and the oracle check has teeth.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .engine import Engine
+from .scheduler import SimulationError
+
+__all__ = [
+    "Partition",
+    "PartitionEngine",
+    "PartitionedSimulation",
+    "sim_parallel_enabled",
+]
+
+_FAR = float("inf")
+
+
+def sim_parallel_enabled() -> bool:
+    """False when ``REPRO_SIM_PARALLEL=0`` selects the serial oracle.
+
+    Mirrors ``REPRO_FLOW_CACHE`` / ``REPRO_FLOW_COMPILE``: the parallel
+    executor is on by default and the knob drops the *same* partitioned
+    round algorithm onto the in-process serial executor, whose results
+    the parallel ones must match bit-for-bit.
+    """
+    return os.environ.get("REPRO_SIM_PARALLEL", "1").lower() not in (
+        "0", "false", "no", "off")
+
+
+# Outbox / inbound frame tuples.  A partition emits
+#   (arrival_time, channel_id, seq, payload)
+# and the coordinator routes it to the destination as
+#   (arrival_time, channel_id, sender_partition, seq, payload)
+# -- the sort key that fixes injection order globally.
+
+
+class PartitionEngine(Engine):
+    """A partition-local serial engine with a cross-boundary mailbox.
+
+    Identical to :class:`~repro.sim.engine.Engine` on the simulated
+    timeline; adds the boundary-channel registry, the outbox that
+    :meth:`send_boundary` fills during a window, and
+    :meth:`inject_frames`, which the coordinator uses to deliver routed
+    frames at their exact arrival timestamps before the next window.
+    """
+
+    def __init__(self, partition_index: int = 0):
+        super().__init__()
+        self.partition_index = partition_index
+        self._channels: Dict[str, Any] = {}
+        self.outbox: List[Tuple[float, str, int, Any]] = []
+        self.frames_sent = 0
+        self.frames_injected = 0
+
+    def register_channel(self, channel) -> None:
+        """Register one local half of a boundary channel.
+
+        ``channel`` must expose ``channel_id`` (shared by both halves),
+        ``lookahead_us`` (strictly positive), and ``deliver(payload)``.
+        """
+        channel_id = channel.channel_id
+        if channel_id in self._channels:
+            raise SimulationError(
+                "boundary channel %r registered twice on partition %d"
+                % (channel_id, self.partition_index))
+        if not (channel.lookahead_us > 0.0):
+            raise SimulationError(
+                "boundary channel %r has no lookahead (propagation_us=%r)"
+                % (channel_id, channel.lookahead_us))
+        self._channels[channel_id] = channel
+
+    @property
+    def channels(self) -> Dict[str, Any]:
+        return dict(self._channels)
+
+    def min_lookahead_us(self) -> float:
+        """The cheapest outbound boundary hop (``inf`` with no channels)."""
+        if not self._channels:
+            return _FAR
+        return min(ch.lookahead_us for ch in self._channels.values())
+
+    def send_boundary(self, channel_id: str, arrival_time: float, seq: int,
+                      payload) -> None:
+        """Queue a frame for the remote half of ``channel_id``.
+
+        ``arrival_time`` is the absolute simulated instant the frame hits
+        the remote engine (sender's ``now`` + propagation + impairment
+        extra); it is carried verbatim so the receiving engine schedules
+        the arrival at the bit-identical float.  ``payload`` must be
+        picklable (the parallel executor ships it across a pipe).
+        """
+        if arrival_time <= self.now:
+            raise SimulationError(
+                "boundary frame on %r arrives at %r, not after now=%r "
+                "(zero-lookahead send?)" % (channel_id, arrival_time, self.now))
+        self.frames_sent += 1
+        self.outbox.append((arrival_time, channel_id, seq, payload))
+
+    def take_outbox(self) -> List[Tuple[float, str, int, Any]]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    def inject_frames(self, frames: Sequence[Tuple]) -> None:
+        """Schedule routed inbound frames at their exact arrival times.
+
+        ``frames`` must already be in the coordinator's canonical
+        ``(arrival, channel, sender, seq)`` order: injection claims engine
+        sequence numbers, so this order is part of the determinism
+        contract shared by both executors.
+        """
+        channels = self._channels
+        call_at = self.call_at
+        for arrival, channel_id, _sender, _seq, payload in frames:
+            channel = channels[channel_id]
+            self.frames_injected += 1
+            call_at(arrival, _Injection(channel, payload))
+
+    def register_metrics(self, registry) -> None:
+        super().register_metrics(registry)
+        registry.source("sim.partition.frames_sent", lambda: self.frames_sent)
+        registry.source("sim.partition.frames_injected",
+                        lambda: self.frames_injected)
+
+
+class _Injection:
+    """Deliver one boundary payload when its arrival event fires."""
+
+    __slots__ = ("channel", "payload")
+
+    def __init__(self, channel, payload):
+        self.channel = channel
+        self.payload = payload
+
+    def __call__(self, _event) -> None:
+        self.channel.deliver(self.payload)
+
+
+class Partition:
+    """One shard of a partitioned simulation, built inside its owner.
+
+    ``done`` is the local completion predicate (e.g. "the main workload
+    process has finished" or "the next event lies beyond the horizon");
+    ``result`` produces the partition's picklable result dict once the
+    coordinator declares the whole simulation finished.
+    """
+
+    def __init__(self, engine: PartitionEngine,
+                 done: Callable[[], bool],
+                 result: Callable[[], Dict[str, Any]]):
+        if not isinstance(engine, PartitionEngine):
+            raise TypeError("Partition requires a PartitionEngine, got %r"
+                            % (engine,))
+        self.engine = engine
+        self.done = done
+        self.result = result
+
+    # -- the worker-side half of one synchronization round ----------------
+
+    def report(self) -> Dict[str, Any]:
+        engine = self.engine
+        return {
+            "next": engine.next_event_time(),
+            "done": bool(self.done()),
+            "outbox": engine.take_outbox(),
+            "lookahead": engine.min_lookahead_us(),
+        }
+
+    def initial_state(self) -> Dict[str, Any]:
+        """Round-zero report plus the static channel topology."""
+        state = self.report()
+        state["channels"] = {
+            channel_id: channel.lookahead_us
+            for channel_id, channel in self.engine.channels.items()
+        }
+        return state
+
+    def run_round(self, bound: float, frames: Sequence[Tuple]) -> None:
+        engine = self.engine
+        if frames:
+            engine.inject_frames(frames)
+        if bound == _FAR:
+            # No boundary constraint anywhere: behave like run_process --
+            # run until locally done, leaving stragglers unprocessed.
+            step = engine.step
+            while not self.done() and engine.next_event_time() < _FAR:
+                step()
+        else:
+            engine.run_window(bound)
+
+
+# ---------------------------------------------------------------------------
+# coordinator
+# ---------------------------------------------------------------------------
+
+class _LocalHandle:
+    """Serial-executor handle: the partition lives in this process."""
+
+    def __init__(self, builder, index: int, n: int, spec):
+        self.index = index
+        self.partition = builder(index, n, spec)
+
+    def initial_state(self):
+        self._state = self.partition.initial_state()
+        return self._state
+
+    def post_window(self, bound: float, frames) -> None:
+        self.partition.run_round(bound, frames)
+        self._state = self.partition.report()
+
+    def wait_state(self):
+        return self._state
+
+    def finish(self):
+        return self.partition.result()
+
+    def close(self) -> None:
+        pass
+
+
+def _partition_worker(conn, builder, index: int, n: int, spec) -> None:
+    """Worker-process main loop (module-level so it pickles under spawn)."""
+    import traceback
+    try:
+        partition = builder(index, n, spec)
+        conn.send(("state", partition.initial_state()))
+        while True:
+            message = conn.recv()
+            op = message[0]
+            if op == "window":
+                partition.run_round(message[1], message[2])
+                conn.send(("state", partition.report()))
+            elif op == "finish":
+                conn.send(("result", partition.result()))
+                return
+            else:
+                raise RuntimeError("unknown coordinator op %r" % (op,))
+    except BaseException as exc:  # noqa: BLE001 - relay to the coordinator
+        try:
+            conn.send(("error", repr(exc), traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class _RemoteHandle:
+    """Parallel-executor handle: the partition lives in a forked worker."""
+
+    def __init__(self, context, builder, index: int, n: int, spec):
+        import multiprocessing  # noqa: F401 - context supplied by caller
+        self.index = index
+        self.conn, child = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_partition_worker,
+            args=(child, builder, index, n, spec),
+            name="repro-sim-partition-%d" % index,
+        )
+        self.process.daemon = True
+        self.process.start()
+        child.close()
+        self._state = None
+
+    def _recv(self, kind: str):
+        message = self.conn.recv()
+        if message[0] == "error":
+            raise SimulationError(
+                "partition %d worker failed: %s\n%s"
+                % (self.index, message[1], message[2]))
+        if message[0] != kind:
+            raise SimulationError(
+                "partition %d protocol error: expected %r, got %r"
+                % (self.index, kind, message[0]))
+        return message[1]
+
+    def initial_state(self):
+        self._state = self._recv("state")
+        return self._state
+
+    def post_window(self, bound: float, frames) -> None:
+        self.conn.send(("window", bound, frames))
+
+    def wait_state(self):
+        self._state = self._recv("state")
+        return self._state
+
+    def finish(self):
+        self.conn.send(("finish",))
+        return self._recv("result")
+
+    def close(self) -> None:
+        try:
+            self.conn.close()
+        except Exception:
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=10)
+
+
+class PartitionedSimulation:
+    """Build N partitions from one picklable builder and run them to done.
+
+    ``builder(index, n_partitions, spec)`` must be a module-level callable
+    returning a :class:`Partition`; it runs once per partition -- in this
+    process under the serial executor, inside a forked worker under the
+    parallel one -- and must construct *only* partition-local state (live
+    engines and testbeds never cross process boundaries; ``spec`` does,
+    so it must be plain data).
+
+    :meth:`run` returns the per-partition result dicts in index order,
+    identical under both executors.
+    """
+
+    def __init__(self, builder: Callable, n_partitions: int, spec=None,
+                 parallel: Optional[bool] = None):
+        if n_partitions < 1:
+            raise ValueError("n_partitions must be >= 1, got %d" % n_partitions)
+        self.builder = builder
+        self.n_partitions = n_partitions
+        self.spec = spec
+        self.parallel = sim_parallel_enabled() if parallel is None else parallel
+        self.rounds = 0
+        self.frames_routed = 0
+
+    # -- routing ----------------------------------------------------------
+
+    @staticmethod
+    def _route_table(states) -> Dict[str, List[int]]:
+        table: Dict[str, List[int]] = {}
+        for index, state in enumerate(states):
+            for channel_id, lookahead in state.get("channels", {}).items():
+                table.setdefault(channel_id, []).append(index)
+        return table
+
+    def _route(self, states, channel_table: Dict[str, List[int]]):
+        """Drain outboxes into per-partition inbound lists; update eff."""
+        inbound: List[List[Tuple]] = [[] for _ in range(self.n_partitions)]
+        for sender, state in enumerate(states):
+            for arrival, channel_id, seq, payload in state["outbox"]:
+                owners = channel_table.get(channel_id)
+                if not owners:
+                    raise SimulationError(
+                        "frame on unknown boundary channel %r" % channel_id)
+                others = [p for p in owners if p != sender]
+                if len(others) > 1:
+                    raise SimulationError(
+                        "boundary channel %r has %d remote halves"
+                        % (channel_id, len(others)))
+                target = others[0] if others else sender
+                inbound[target].append(
+                    (arrival, channel_id, sender, seq, payload))
+                self.frames_routed += 1
+        for frames in inbound:
+            frames.sort(key=lambda f: (f[0], f[1], f[2], f[3]))
+        return inbound
+
+    # -- the one round algorithm (both executors) -------------------------
+
+    def _coordinate(self, handles) -> List[Dict[str, Any]]:
+        states = [handle.initial_state() for handle in handles]
+        # The channel map is static topology; collect it from round zero.
+        channel_table = self._route_table(states)
+        lookaheads = [state["lookahead"] for state in states]
+        while True:
+            inbound = self._route(states, channel_table)
+            effective = []
+            for index, state in enumerate(states):
+                next_time = state["next"]
+                if inbound[index]:
+                    next_time = min(next_time, inbound[index][0][0])
+                effective.append(next_time)
+            pending = any(frames for frames in inbound)
+            if not pending and all(state["done"] for state in states):
+                break
+            if all(t == _FAR for t in effective):
+                stuck = [i for i, s in enumerate(states) if not s["done"]]
+                raise SimulationError(
+                    "parallel deadlock: partitions %r are not done but no "
+                    "events or frames are pending anywhere" % (stuck,))
+            bound = min(effective[i] + lookaheads[i]
+                        for i in range(self.n_partitions))
+            self.rounds += 1
+            for index, handle in enumerate(handles):
+                handle.post_window(bound, inbound[index])
+            states = [handle.wait_state() for handle in handles]
+        return [handle.finish() for handle in handles]
+
+    # -- executors --------------------------------------------------------
+
+    def run(self) -> List[Dict[str, Any]]:
+        if self.parallel and self.n_partitions > 1:
+            return self._run_parallel()
+        return self._run_serial()
+
+    def _run_serial(self) -> List[Dict[str, Any]]:
+        handles = [
+            _LocalHandle(self.builder, index, self.n_partitions, self.spec)
+            for index in range(self.n_partitions)
+        ]
+        try:
+            return self._coordinate(handles)
+        finally:
+            for handle in handles:
+                handle.close()
+
+    def _run_parallel(self) -> List[Dict[str, Any]]:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        handles = []
+        try:
+            for index in range(self.n_partitions):
+                handles.append(_RemoteHandle(
+                    context, self.builder, index, self.n_partitions,
+                    self.spec))
+            return self._coordinate(handles)
+        finally:
+            for handle in handles:
+                handle.close()
