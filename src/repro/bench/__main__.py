@@ -22,10 +22,25 @@ Usage::
                                       # (REPRO_SIM_PARALLEL=0 executor)
     python -m repro.bench --parallel-curve
                                       # partitioned-many_flows speedup
-                                      # curve over jobs {1, 2, 4};
+                                      # curve over jobs {1, 2, 4} plus
+                                      # the mega_flows headline row and
+                                      # the round-overhead microbench;
                                       # writes BENCH_parallel.json and
-                                      # fails only on fingerprint
-                                      # divergence from the oracle
+                                      # fails on fingerprint divergence
+                                      # from the oracle (and, when >= 2
+                                      # cores are visible, on the jobs=2
+                                      # speedup expectation)
+    python -m repro.bench --round-overhead
+                                      # coordination-cost microbench:
+                                      # rounds/sec, events/round and
+                                      # barrier_us for the serial and
+                                      # parallel executors
+    python -m repro.bench --speedup-smoke
+                                      # CI smoke: on hosts with >= 2
+                                      # visible cores, assert the jobs=2
+                                      # parallel executor is no slower
+                                      # than its serial oracle run;
+                                      # skips (exit 0) on 1-core hosts
 """
 
 import sys
@@ -65,11 +80,11 @@ def _print_parallel_legs(legs) -> bool:
     """Render speedup-curve legs; returns True if any leg diverged."""
     failed = False
     for leg in legs:
-        print("many_flows x%-2d %10.3f s serial  %8.3f s parallel  "
+        print("%s x%-2d %10.3f s serial  %8.3f s parallel  "
               "%.2fx speedup  [%s]"
-              % (leg["sim_jobs"], leg["serial"]["wall_s"],
-                 leg["parallel"]["wall_s"], leg["speedup"],
-                 leg["executor"]))
+              % (leg.get("workload", "many_flows"), leg["sim_jobs"],
+                 leg["serial"]["wall_s"], leg["parallel"]["wall_s"],
+                 leg["speedup"], leg["executor"]))
         for error in leg["errors"]:
             print("  ERROR: %s" % error)
         if not leg["ok"]:
@@ -132,23 +147,117 @@ def _wallclock(quick: bool, jobs: int = 1, sim_jobs: int = 1) -> int:
     return 1 if failed else 0
 
 
+def _print_round_overhead(record) -> None:
+    print("round-overhead [%s]: %d rounds  %.0f rounds/s  "
+          "%.2f ev/round  barrier %.1f us  %d frames  %d ring fallbacks"
+          % (record["executor"], record["rounds"],
+             record["rounds_per_sec"], record["events_per_round"],
+             record["barrier_us"], record["frames_routed"],
+             record["ring_fallbacks"]))
+
+
 def _parallel_curve(quick: bool) -> int:
     """The ``--sim-jobs`` speedup curve: jobs in {1, 2, 4}.
 
-    Hard-fails only on fingerprint/events/metrics divergence between the
-    parallel executor and the serial oracle; the speedup itself is
-    recorded in ``BENCH_parallel.json`` (wall-clock on a loaded or
-    single-core host carries no gating signal).
+    Hard-fails on fingerprint/events/metrics divergence between the
+    parallel executor and the serial oracle, and -- when the host
+    exposes >= 2 affinity-visible cores -- on the jobs=2 speedup
+    expectation (``REPRO_SIM_SPEEDUP_MIN``).  On single-core hosts the
+    curve is recorded as informational with a cpu_count annotation.
+    Also runs the ``mega_flows`` headline row (oracle-gated like a
+    curve leg) and the round-overhead microbench into the report.
     """
-    from .parallel import run_parallel_legs, write_parallel_report
+    from .parallel import (run_parallel_legs, run_partitioned_workload,
+                           run_round_overhead, speedup_expectation,
+                           write_parallel_report, _comparable)
     from .wallclock import WORKLOADS
     _fn, quick_scale, full_scale = WORKLOADS["many_flows"]
     scale = quick_scale if quick else full_scale
     legs = run_parallel_legs([1, 2, 4], scale)
-    path = write_parallel_report(legs, scale)
     failed = _print_parallel_legs(legs)
+
+    # The mega_flows headline: one serial-oracle run and one default-
+    # executor run at jobs=2, identity-gated like a curve leg.  (Not a
+    # run_parallel_legs sweep -- that would add a third full-scale run
+    # for a jobs=1 speedup reference the headline doesn't report.)
+    _fn, mega_quick, mega_full = WORKLOADS["mega_flows"]
+    mega_scale = mega_quick if quick else mega_full
+    mega_oracle = run_partitioned_workload("mega_flows", mega_scale, 2,
+                                           parallel=False)
+    mega = run_partitioned_workload("mega_flows", mega_scale, 2,
+                                    parallel=None)
+    # The serial oracle's peak-delta per_flow_kb is the cleaner memory
+    # figure (forked workers inherit resident pages, deflating VmRSS
+    # growth); keep both in the headline row.
+    mega["per_flow_kb_serial"] = mega_oracle["per_flow_kb"]
+    mega_ok = _comparable(mega) == _comparable(mega_oracle)
+    print("mega_flows x2  %10.3f s serial  %8.3f s parallel  "
+          "%.3f KB/flow (serial peak %.3f)  [%s]%s"
+          % (mega_oracle["wall_s"], mega["wall_s"], mega["per_flow_kb"],
+             mega["per_flow_kb_serial"], mega["executor"],
+             "" if mega_ok else "  DIVERGED"))
+    if not mega_ok:
+        failed = True
+        for key in ("events", "fingerprint", "metrics"):
+            if mega[key] != mega_oracle[key]:
+                print("  ERROR: mega_flows parallel %s diverged from the "
+                      "serial oracle" % key)
+
+    overhead = run_round_overhead(parallel=None)
+    _print_round_overhead(overhead)
+
+    expectation = speedup_expectation(legs)
+    print("speedup expectation: %s" % expectation["note"])
+    if expectation.get("passed") is False:
+        failed = True
+
+    path = write_parallel_report(legs, scale, round_overhead=overhead,
+                                 mega=mega)
     print("\nreport written to %s" % path)
     return 1 if failed else 0
+
+
+def _round_overhead() -> int:
+    """Run the coordination-cost microbench on both executors."""
+    from .parallel import run_round_overhead
+    _print_round_overhead(run_round_overhead(parallel=False))
+    _print_round_overhead(run_round_overhead(parallel=True))
+    return 0
+
+
+def _speedup_smoke(quick: bool) -> int:
+    """CI smoke: jobs=2 parallel must not be slower than its own oracle.
+
+    A weaker bar than the 1.3x curve expectation on purpose: CI runners
+    are noisy and share cores, so the smoke only asserts the parallel
+    executor is not a *pessimization* (wall <= 1.0x the jobs=2 serial
+    oracle run).  On hosts with < 2 visible cores the assertion is
+    physically meaningless and the smoke skips with a note.
+    """
+    from .parallel import affinity_cores, run_partitioned_workload
+    from .wallclock import WORKLOADS
+    import os as _os
+    cores = affinity_cores()
+    if cores < 2:
+        print("speedup smoke: SKIP -- %d affinity-visible core(s) "
+              "(os.cpu_count()=%s); a 2-partition speedup assertion "
+              "needs >= 2" % (cores, _os.cpu_count()))
+        return 0
+    _fn, quick_scale, full_scale = WORKLOADS["many_flows"]
+    scale = quick_scale if quick else full_scale
+    # Warm imports/codegen so neither run eats the cold-start cost.
+    run_partitioned_workload("many_flows", min(scale, 512), 1,
+                             parallel=False)
+    serial = run_partitioned_workload("many_flows", scale, 2, parallel=False)
+    parallel = run_partitioned_workload("many_flows", scale, 2, parallel=True)
+    ratio = (parallel["wall_s"] / serial["wall_s"]
+             if serial["wall_s"] > 0 else float("inf"))
+    ok = ratio <= 1.0
+    print("speedup smoke: jobs=2 parallel %.3f s vs serial %.3f s "
+          "(%.2fx serial wall) on %d cores -> %s"
+          % (parallel["wall_s"], serial["wall_s"], ratio, cores,
+             "ok" if ok else "FAIL (parallel slower than serial)"))
+    return 0 if ok else 1
 
 
 def _charts() -> str:
@@ -172,6 +281,10 @@ def main(argv) -> int:
         return 0
     if "--parallel-curve" in argv:
         return _parallel_curve(quick="--full" not in argv)
+    if "--round-overhead" in argv:
+        return _round_overhead()
+    if "--speedup-smoke" in argv:
+        return _speedup_smoke(quick="--full" not in argv)
     if "--wallclock" in argv:
         return _wallclock(quick="--full" not in argv, jobs=jobs,
                           sim_jobs=sim_jobs)

@@ -329,6 +329,24 @@ def _rss_kb() -> int:
         return 0
 
 
+def _rss_now_kb() -> int:
+    """*Current* resident set size in KB (peak as a fallback).
+
+    A forked partition worker inherits its parent's peak, so peak-delta
+    accounting would read near zero whenever the parent has already run
+    a bigger workload in-process; the worker's own growth needs the
+    live VmRSS figure.
+    """
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    return _rss_kb()
+
+
 def _many_flows_setup(bed, scale: int):
     """Wire the many-flows scenario onto a built bed.
 
@@ -500,6 +518,207 @@ def _many_flows(scale: int, instrument=None, sim_jobs: int = 1) -> Dict:
     }
 
 
+#: Flows one client host can source: the ephemeral UDP port range is
+#: 32768..65535 (~32767 ports), kept under ~30k for slack against the
+#: TCP side's separate allocator and retries.
+_MEGA_FLOWS_PER_HOST = 30_000
+
+
+def _mega_client_hosts(scale: int) -> int:
+    """Client hosts needed to give ``scale`` flows enough port space."""
+    return max(1, -(-scale // _MEGA_FLOWS_PER_HOST))
+
+
+def _mega_flows_setup(bed, scale: int):
+    """Wire the mega-flows scenario onto a built bed.
+
+    The memory-pressure sibling of :func:`_many_flows_setup`: ``scale``
+    flows (every 8th TCP, the rest UDP request/reply) arrive open-loop at
+    a 2 us stagger from however many client hosts the port space needs,
+    and the server *defers every reply until all ``scale`` flows have
+    arrived* -- so peak live-flow concurrency equals ``scale`` by
+    construction, which is what makes ``per_flow_kb`` an honest
+    steady-state cost and not an artifact of flows retiring early.
+    Returns ``(state, main_factory)`` like its sibling; shared by the
+    classic workload and the partitioned shards.
+    """
+    from ..sim import Signal
+    from ..unixos.sockets import Poller
+
+    tcp_object = bytes(256)     # the pushed "page"
+    udp_request = bytes(16)
+    udp_reply = bytes(64)
+    stagger_us = 2.0
+    tcp_port, udp_port = 80, 5004
+
+    engine = bed.engine
+    n_clients = len(bed.hosts) - 1
+    server_host = bed.hosts[-1]
+    server_sockets = bed.sockets[-1]
+    server_ip = bed.ip(n_clients)
+
+    # Both traffic phases are wire-rate bursts -- the open-loop request
+    # front inbound to the server, the deferred reply sweep outbound and
+    # back into each client host.  The default 64-entry NIC rings drop
+    # under either burst, and a dropped datagram deadlocks its open-loop
+    # client (UDP carries no retransmit), so provision every ring for
+    # the full flow count.
+    for nic in bed.nics:
+        nic.provision_rings(scale)
+
+    state = {"tcp_done": 0, "udp_done": 0, "bytes_in": 0, "served": 0,
+             "peak_conns": 0, "peak_watched": 0}
+    server_ready = Signal(engine)
+    all_done = Signal(engine)
+
+    def client_finished() -> None:
+        if state["tcp_done"] + state["udp_done"] == scale:
+            all_done.fire()
+
+    def tcp_client(index: int, sockets):
+        yield engine.pooled_timeout(index * stagger_us)
+        sock = sockets.tcp_socket()
+        yield from sock.connect((server_ip, tcp_port))
+        received = 0
+        while True:
+            data = yield from sock.recv()
+            if not data:
+                break
+            received += len(data)
+        yield from sock.close()
+        state["tcp_done"] += 1
+        state["bytes_in"] += received
+        client_finished()
+
+    def udp_client(index: int, sockets):
+        yield engine.pooled_timeout(index * stagger_us)
+        sock = sockets.udp_socket()
+        yield from sock.bind()
+        yield from sock.sendto(udp_request, (server_ip, udp_port))
+        data, _addr = yield from sock.recvfrom()
+        sock.close()
+        state["udp_done"] += 1
+        state["bytes_in"] += len(data)
+        client_finished()
+
+    def server():
+        listener = server_sockets.tcp_socket()
+        yield from listener.listen(tcp_port, backlog=scale)
+        udp = server_sockets.udp_socket()
+        yield from udp.bind(udp_port)
+        # At a 2 us open-loop stagger requests land faster than the
+        # server loop drains under load spikes; the default 64 KB socket
+        # buffer would silently drop datagrams (deadlocking their
+        # clients), so give it room for every request plus headroom.
+        udp.buffer.limit = max(udp.buffer.limit, scale * 64)
+        poller = Poller(server_host)
+        poller.register(listener)
+        poller.register(udp)
+        server_ready.fire()
+        connections = server_sockets.stack.tcp.connections
+        pending_tcp = []        # accepted children awaiting their push
+        pending_udp = []        # datagram sources awaiting their reply
+        while len(pending_tcp) + len(pending_udp) < scale:
+            ready = yield from poller.wait()
+            state["peak_conns"] = max(state["peak_conns"], len(connections))
+            state["peak_watched"] = max(state["peak_watched"],
+                                        len(poller._watched))
+            for sock in ready:
+                if sock is listener:
+                    while sock.accept_queue:
+                        child = yield from listener.accept()
+                        pending_tcp.append(child)
+                elif sock is udp:
+                    while sock.buffer.items:
+                        _data, addr = yield from udp.recvfrom()
+                        pending_udp.append(addr)
+        # Every flow is now live at once -- the measured peak.  Answer
+        # them all (arrival order: deterministic) and let them retire.
+        state["peak_conns"] = max(state["peak_conns"], len(connections))
+        for child in pending_tcp:
+            yield from child.send(tcp_object)
+            yield from child.close()
+            state["served"] += 1
+        for addr in pending_udp:
+            yield from udp.sendto(udp_reply, addr)
+            state["served"] += 1
+
+    def main():
+        engine.process(server(), name="mega-server")
+        yield server_ready.wait()
+        for index in range(scale):
+            # Contiguous blocks of flows per client host, sized to fit
+            # each host's ephemeral port space.
+            sockets = bed.sockets[index * n_clients // scale]
+            if index % 8 == 0:
+                engine.process(tcp_client(index, sockets),
+                               name="mega-tcp-%d" % index)
+            else:
+                engine.process(udp_client(index, sockets),
+                               name="mega-udp-%d" % index)
+        yield all_done.wait()
+
+    return state, main
+
+
+def _mega_flows(scale: int, instrument=None, sim_jobs: int = 1) -> Dict:
+    """Memory-scale scale-out: >= 50k concurrent flows held live at once.
+
+    The ``many_flows`` shape pushed to the ROADMAP's 100k-flow regime:
+    mostly-UDP traffic (every 8th flow TCP) arriving open-loop at a 2 us
+    stagger across as many client hosts as the ephemeral port space
+    needs, against one server that withholds every reply until all
+    ``scale`` flows have arrived.  ``per_flow_kb`` is the headline
+    number: with every flow live simultaneously, peak-RSS growth divided
+    by ``scale`` is the real per-flow footprint of the slotted TCBs,
+    sockets, timers, and scheduler entries.
+
+    Not part of the default wall-clock suite (see
+    :data:`ON_DEMAND_WORKLOADS`): run it by name or through
+    ``--parallel-curve``, which makes it the ``BENCH_parallel.json``
+    headline row.
+    """
+    if sim_jobs > 1:
+        from .parallel import run_partitioned_workload
+        return run_partitioned_workload("mega_flows", scale, sim_jobs)
+
+    from .testbed import build_testbed
+
+    bed = build_testbed("unix", "atm", deliver_mode="interrupt",
+                        n_hosts=_mega_client_hosts(scale) + 1)
+    if instrument is not None:
+        instrument(bed)
+    engine = bed.engine
+    state, main = _mega_flows_setup(bed, scale)
+
+    rss_before_kb = _rss_kb()
+    wall0 = time.perf_counter()
+    engine.run_process(main(), name="wallclock-mega-flows")
+    wall = time.perf_counter() - wall0
+    rss_grew_kb = max(0, _rss_kb() - rss_before_kb)
+
+    events = engine.events_processed
+    packets = state["served"] * 2
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "packets": packets,
+        "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        "per_flow_kb": rss_grew_kb / scale,
+        "metrics": _metrics_snapshot(bed),
+        "fingerprint": {
+            "flows": scale,
+            "tcp_done": state["tcp_done"],
+            "udp_done": state["udp_done"],
+            "bytes_in": state["bytes_in"],
+            "peak_conns": state["peak_conns"],
+            "peak_watched": state["peak_watched"],
+            "final_now_us": engine.now,
+        },
+    }
+
+
 #: name -> (workload fn, quick scale, full scale).  Scales are part of the
 #: fingerprint contract: changing them changes the expected fingerprints.
 WORKLOADS: Dict[str, tuple] = {
@@ -507,7 +726,18 @@ WORKLOADS: Dict[str, tuple] = {
     "udp_pingpong": (_udp_pingpong, 60, 400),
     "tcp_bulk": (_tcp_bulk, 100_000, 400_000),
     "many_flows": (_many_flows, 2_000, 6_000),
+    "mega_flows": (_mega_flows, 50_000, 100_000),
 }
+
+#: Workloads excluded from the default suite / fingerprint sweep: big
+#: enough that they run only when named explicitly (``--wallclock``
+#: budgets and the committed BENCH_wallclock.json schema stay unchanged).
+ON_DEMAND_WORKLOADS = ("mega_flows",)
+
+#: Workloads whose quick scale is itself huge warm up at a smaller one
+#: (the warmup pass exists to heat imports/codegen/pools, not to pay the
+#: full workload twice).
+_WARMUP_SCALE: Dict[str, int] = {"mega_flows": 2_000}
 
 #: workloads with a SPIN dispatcher in the loop: exactly these behave
 #: differently under ``REPRO_FLOW_COMPILE`` / ``REPRO_FLOW_CACHE`` and
@@ -577,10 +807,10 @@ def run_workload(name: str, quick: bool = False,
     worker processes; the merged ``metrics`` snapshot still rolls up.
     """
     fn, quick_scale, full_scale = WORKLOADS[name]
-    if sim_jobs > 1 and name != "many_flows":
+    if sim_jobs > 1 and name not in ("many_flows", "mega_flows"):
         raise ValueError(
-            "sim_jobs > 1 is only supported by the many_flows workload, "
-            "not %r" % name)
+            "sim_jobs > 1 is only supported by the many_flows and "
+            "mega_flows workloads, not %r" % name)
     scale = quick_scale if quick else full_scale
     workload_kwargs = {"sim_jobs": sim_jobs} if sim_jobs > 1 else {}
     overrides = _MODE_ENV[mode]
@@ -595,7 +825,7 @@ def run_workload(name: str, quick: bool = False,
         # systematic bias that once showed a quick-scale micro-benchmark
         # at 0.79x against its own prechange twin.  Uninstrumented: the
         # warmup bed is thrown away and must not pollute a profiler.
-        fn(quick_scale, instrument=None)
+        fn(_WARMUP_SCALE.get(name, quick_scale), instrument=None)
         for _ in range(max(1, repeats)):
             # Quiesce the cyclic collector around the timed region (pyperf
             # does the same): GC pauses land randomly and are the dominant
@@ -650,7 +880,8 @@ def run_suite(quick: bool = False, repeats: int = 1,
     """
     from ..spin.flowcache import flow_cache_enabled, flow_compile_enabled
     from .runner import run_wallclock_suite
-    workload_names = list(names or sorted(WORKLOADS))
+    workload_names = list(names or sorted(
+        name for name in WORKLOADS if name not in ON_DEMAND_WORKLOADS))
     # Only workloads that will actually run generated code have a
     # meaningful interpreted twin.  Statically selected (COMPILED_
     # WORKLOADS x environment switches), so the payload list -- and the
@@ -685,7 +916,8 @@ def run_suite(quick: bool = False, repeats: int = 1,
 def fingerprints_only(quick: bool = True) -> Dict[str, Dict]:
     """Just the simulated-time fingerprints (for the determinism tests)."""
     return {name: run_workload(name, quick=quick)["fingerprint"]
-            for name in sorted(WORKLOADS)}
+            for name in sorted(WORKLOADS)
+            if name not in ON_DEMAND_WORKLOADS}
 
 
 # ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@ import random
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from ..sim import Engine, Resource
+from ..sim.shm import pack_frame, unpack_frame
 from .alpha import MICROSECONDS_PER_SECOND
 
 __all__ = ["Frame", "EthernetSegment", "PointToPointLink", "Switch", "SwitchPort",
@@ -598,16 +599,20 @@ class BoundaryChannel(_Medium):
         self._seq += 1
         engine.send_boundary(
             self.channel_id, engine.now + delay_us, self._seq,
-            (frame.data, frame.src_addr, frame.dst_addr, frame.wire_bytes))
+            pack_frame(frame.data, frame.src_addr, frame.dst_addr,
+                       frame.wire_bytes))
 
     def deliver(self, payload) -> None:
         """Rebuild an injected frame and hand it to the local NIC.
 
         Called by the partition engine when the arrival event fires; the
         clock already sits at the exact arrival instant the sender
-        computed.
+        computed.  ``payload`` is the :func:`repro.sim.shm.pack_frame`
+        byte string the sending half posted -- the same flat format the
+        shared-memory rings ship between processes, so the parallel
+        executor never serializes a frame beyond this packing.
         """
-        data, src_addr, dst_addr, wire_bytes = payload
+        data, src_addr, dst_addr, wire_bytes = unpack_frame(payload)
         frame = Frame(data, src_addr, dst_addr, wire_bytes=wire_bytes)
         self.frames_delivered += 1
         self.nic.frame_on_wire(frame)

@@ -74,6 +74,18 @@ class NIC:
 
     # -- device-specific policy -------------------------------------------
 
+    def provision_rings(self, depth: int) -> None:
+        """Deepen the TX queue and RX ring to at least ``depth`` entries.
+
+        The 64-entry defaults model interactive-era hardware; scale-out
+        beds that move traffic in wire-rate bursts (tens of thousands of
+        datagrams back-to-back) overflow them, and a dropped datagram
+        deadlocks any open-loop flow waiting on it.
+        """
+        self.rx_ring_len = max(self.rx_ring_len, depth)
+        if self._tx_queue.capacity is not None:
+            self._tx_queue.capacity = max(self._tx_queue.capacity, depth)
+
     @classmethod
     def default_profile(cls) -> DriverProfile:
         raise NotImplementedError

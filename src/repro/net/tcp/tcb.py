@@ -99,7 +99,38 @@ _INPUT_HANDLERS = {
 
 
 class Tcb:
-    """One TCP connection."""
+    """One TCP connection.
+
+    ``__slots__`` because a mega-scale workload holds tens of thousands
+    of these live at once: the instance ``__dict__`` for ~56 attributes
+    costs more than every buffer a quiet connection owns, and slotted
+    storage is what lets ``mega_flows`` fit the bench budget.
+    """
+
+    __slots__ = (
+        "proto", "host", "laddr", "lport", "raddr", "rport", "passive",
+        "state", "mss",
+        # Send side.
+        "iss", "snd_una", "snd_nxt", "snd_wnd", "snd_buf", "snd_buf_limit",
+        "nodelay", "fin_queued", "fin_sent_seq",
+        # Receive side.
+        "irs", "rcv_nxt", "rcv_buf_limit", "delivered_unconsumed",
+        "auto_consume", "_reass", "_segs_since_ack", "_fin_received",
+        "_advertised_window",
+        # Congestion control.
+        "cwnd", "ssthresh", "dupacks", "recover",
+        # RTT estimation.
+        "srtt", "rttvar", "rto", "_rtt_seq", "_rtt_start", "_rexmt_shift",
+        "_probe_pending",
+        # Timers.
+        "_rexmt_timer", "_delack_timer", "_persist_timer", "_timewait_timer",
+        "_keepalive_timer", "_keepalive_us", "_keepalive_misses",
+        # Callbacks.
+        "on_established", "on_data", "on_close", "on_reset", "on_sendable",
+        # Statistics.
+        "segments_sent", "segments_received", "bytes_sent", "bytes_received",
+        "retransmits", "fast_retransmits",
+    )
 
     DEFAULT_BUF = 64 * 1024
     INITIAL_RTO_US = 50_000.0     # 50 ms before the first RTT sample

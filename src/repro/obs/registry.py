@@ -327,6 +327,14 @@ def merge_snapshots(snapshots: Sequence[Dict[str, Dict]]) -> Dict[str, Dict]:
                     raise MetricError(
                         "histogram %r has mismatched bounds across partitions"
                         % name)
+                if len(target["counts"]) != len(value["counts"]):
+                    # zip() would silently truncate the longer side and
+                    # drop tail buckets from the merge.
+                    raise MetricError(
+                        "histogram %r has %d buckets in one partition and "
+                        "%d in another"
+                        % (name, len(target["counts"]),
+                           len(value["counts"])))
                 target["counts"] = [a + b for a, b in
                                     zip(target["counts"], value["counts"])]
                 target["count"] += value["count"]

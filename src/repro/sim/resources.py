@@ -205,6 +205,8 @@ class Signal:
     waiter per socket per wakeup.
     """
 
+    __slots__ = ("engine", "_waiters", "_subscribers", "fire_count")
+
     def __init__(self, engine: Engine):
         self.engine = engine
         self._waiters: List[Event] = []

@@ -1,0 +1,269 @@
+"""Zero-pickle boundary-frame transport: shared-memory rings.
+
+The parallel executor's per-round data path.  PR 7 shipped every
+boundary frame and every round report as a pickled tuple over a duplex
+pipe; at thousands of rounds the serialization cost dwarfed the events
+each round executed, and the executor lost to serial.  This module is
+the kernel-bypass-style replacement: each worker shares two
+:class:`multiprocessing.shared_memory` blocks with the coordinator (one
+per direction), boundary frames are ``struct``-packed records written
+straight into the ring, and the pipe carries only a fixed-size packed
+control header per round.  Pickle survives in exactly two places: the
+end-of-run result/metrics snapshot, and a per-*round* fallback for the
+rare round whose frames do not fit the ring (or whose payloads are not
+plain bytes).
+
+Synchronization needs no atomics: rounds are bulk-synchronous, the
+reader always drains exactly the records the writer announced for the
+round (the count rides in the control header), and both sides apply the
+identical wrap rule -- so reader and writer offsets advance in lockstep
+by construction.
+
+``REPRO_SIM_RING_KB`` sizes each ring (default 256 KB).  A record that
+cannot fit triggers the loud per-round pickle fallback, counted by the
+coordinator; corruption is structurally impossible because a round's
+records either all land in the ring or none do.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from typing import List, Tuple
+
+__all__ = [
+    "FrameRing",
+    "RingError",
+    "ring_bytes",
+    "pack_frame",
+    "unpack_frame",
+    "encode_payload",
+    "decode_payload",
+]
+
+DEFAULT_RING_KB = 256
+
+#: One boundary-frame record header:
+#: arrival (f64), seq (u64), sender (u32), channel index (u32),
+#: payload length (u32), payload kind (u8: 0 raw bytes, 1 pickled).
+_RECORD = struct.Struct("<dQIIIB")
+
+#: Payload-length sentinel marking "skip to ring start" padding.
+_WRAP = 0xFFFFFFFF
+
+_KIND_BYTES = 0
+_KIND_PICKLE = 1
+
+
+class RingError(Exception):
+    """A frame ring was misused (oversize record, over-drained ring)."""
+
+
+def ring_bytes() -> int:
+    """Ring capacity from ``REPRO_SIM_RING_KB`` (default 256 KB)."""
+    raw = os.environ.get("REPRO_SIM_RING_KB", "")
+    try:
+        kb = int(raw)
+    except ValueError:
+        kb = 0
+    return (kb if kb > 0 else DEFAULT_RING_KB) * 1024
+
+
+# ---------------------------------------------------------------------------
+# payload encoding
+# ---------------------------------------------------------------------------
+
+#: Packed boundary frame: wire_bytes (u32), src/dst address lengths.
+_FRAME = struct.Struct("<IHH")
+
+
+def pack_frame(data: bytes, src_addr: str, dst_addr: str,
+               wire_bytes: int) -> bytes:
+    """Pack one link-layer frame into the flat boundary wire format.
+
+    This is what :class:`repro.hw.link.BoundaryChannel` posts as its
+    payload -- already bytes, so the parallel executor ships it with no
+    serialization at all, and the serial executor carries the identical
+    object in-process.
+    """
+    src = src_addr.encode("utf-8")
+    dst = dst_addr.encode("utf-8")
+    return _FRAME.pack(wire_bytes, len(src), len(dst)) + src + dst + data
+
+
+def unpack_frame(payload: bytes) -> Tuple[bytes, str, str, int]:
+    """Inverse of :func:`pack_frame`: ``(data, src, dst, wire_bytes)``."""
+    wire_bytes, src_len, dst_len = _FRAME.unpack_from(payload)
+    off = _FRAME.size
+    src = payload[off:off + src_len].decode("utf-8")
+    off += src_len
+    dst = payload[off:off + dst_len].decode("utf-8")
+    off += dst_len
+    return payload[off:], src, dst, wire_bytes
+
+
+def encode_payload(payload) -> Tuple[int, bytes]:
+    """``(kind, bytes)`` for a ring record; pickles only non-bytes."""
+    if type(payload) is bytes:
+        return _KIND_BYTES, payload
+    return _KIND_PICKLE, pickle.dumps(payload, protocol=4)
+
+
+def decode_payload(kind: int, raw: bytes):
+    if kind == _KIND_BYTES:
+        return raw
+    return pickle.loads(raw)
+
+
+# ---------------------------------------------------------------------------
+# the ring
+# ---------------------------------------------------------------------------
+
+class FrameRing:
+    """One direction of boundary-frame transport between two processes.
+
+    Single writer, single reader, bulk-synchronous: the writer announces
+    how many records it appended through an out-of-band control message
+    and never writes again until the reader confirms the round (which
+    the round barrier itself guarantees), so cursors are plain local
+    integers on each side and wrap deterministically.
+
+    Records are ``(arrival, channel_index, sender, seq, payload)``;
+    payloads are opaque bytes to the coordinator (it routes, never
+    decodes).  :meth:`push_all` is transactional per round: it checks
+    that the whole batch fits (including wrap padding) before touching
+    the buffer, returning ``False`` -- ring untouched -- when it does
+    not, which is the caller's cue to use the pickle fallback.
+    """
+
+    def __init__(self, size: int = 0, name: str = None):
+        from multiprocessing import shared_memory
+
+        if name is None:
+            if size < _RECORD.size + 1:
+                raise ValueError("ring size %d is too small" % size)
+            self._shm = shared_memory.SharedMemory(create=True, size=size)
+            # SharedMemory may round the mapping up to a page; both sides
+            # must agree on capacity, so the requested size is the law.
+            self.size = size
+            self._owner = True
+        else:
+            # CPython < 3.13 registers *attached* segments with the
+            # resource tracker too (gh-82300), and the tracker dedups by
+            # name -- so whether the attaching process shares the owner's
+            # tracker (fork) or spawned its own, the stray registration
+            # ends in shutdown noise: either a bogus "leaked
+            # shared_memory" warning or a KeyError when the owner
+            # unlinks.  Cleanup is the owner's registration's job alone,
+            # so suppress registration entirely for the attach.
+            from multiprocessing import resource_tracker
+            orig_register = resource_tracker.register
+            resource_tracker.register = lambda *a, **kw: None
+            try:
+                self._shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = orig_register
+            self.size = size
+            self._owner = False
+        self.name = self._shm.name
+        self._offset = 0
+        self.records = 0
+        self.bytes_moved = 0
+
+    # -- writer side ------------------------------------------------------
+
+    def _batch_cost(self, blobs: List[bytes]) -> int:
+        """Bytes the batch consumes from ``_offset``, wrap padding included."""
+        offset = self._offset
+        cost = 0
+        for blob in blobs:
+            need = _RECORD.size + len(blob)
+            if need > self.size:
+                raise RingError(
+                    "boundary payload of %d bytes exceeds the whole ring "
+                    "(%d bytes; raise REPRO_SIM_RING_KB)"
+                    % (len(blob), self.size))
+            remaining = self.size - offset
+            if need > remaining:
+                cost += remaining          # wrap padding
+                offset = 0
+            cost += need
+            offset += need
+        return cost
+
+    def push_all(self, records) -> bool:
+        """Append a round's records; ``False`` (and no write) if oversize.
+
+        ``records`` is a sequence of
+        ``(arrival, channel_index, sender, seq, kind, payload_bytes)``.
+        A batch larger than the ring cannot be represented -- the reader
+        would overtake padding -- so it is refused whole.
+        """
+        blobs = [record[5] for record in records]
+        if self._batch_cost(blobs) > self.size:
+            return False
+        buf = self._shm.buf
+        offset = self._offset
+        pack_into = _RECORD.pack_into
+        for (arrival, channel_idx, sender, seq, kind, blob) in records:
+            need = _RECORD.size + len(blob)
+            remaining = self.size - offset
+            if need > remaining:
+                if remaining >= _RECORD.size:
+                    pack_into(buf, offset, 0.0, 0, 0, 0, _WRAP, 0)
+                offset = 0
+            pack_into(buf, offset, arrival, seq, sender, channel_idx,
+                      len(blob), kind)
+            offset += _RECORD.size
+            buf[offset:offset + len(blob)] = blob
+            offset += len(blob)
+            self.records += 1
+            self.bytes_moved += need
+        self._offset = offset
+        return True
+
+    # -- reader side ------------------------------------------------------
+
+    def pop(self, count: int) -> List[Tuple[float, int, int, int, int, bytes]]:
+        """Read ``count`` records in write order; advances the cursor."""
+        buf = self._shm.buf
+        offset = self._offset
+        unpack_from = _RECORD.unpack_from
+        out = []
+        for _ in range(count):
+            remaining = self.size - offset
+            if remaining < _RECORD.size:
+                offset = 0
+            else:
+                length = unpack_from(buf, offset)[4]
+                if length == _WRAP:
+                    offset = 0
+            arrival, seq, sender, channel_idx, length, kind = unpack_from(
+                buf, offset)
+            if length == _WRAP or offset + _RECORD.size + length > self.size:
+                raise RingError(
+                    "ring over-drained or corrupt at offset %d" % offset)
+            offset += _RECORD.size
+            blob = bytes(buf[offset:offset + length])
+            offset += length
+            out.append((arrival, channel_idx, sender, seq, kind, blob))
+            self.records += 1
+            self.bytes_moved += _RECORD.size + length
+        self._offset = offset
+        return out
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+
+    def unlink(self) -> None:
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except (OSError, FileNotFoundError):
+                pass

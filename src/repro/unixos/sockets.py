@@ -40,6 +40,8 @@ class SocketError(OSError):
 class _SockBuf:
     """A socket receive buffer: queued (data, address) records."""
 
+    __slots__ = ("items", "bytes", "limit", "readable", "drops")
+
     def __init__(self, engine, limit: int = 64 * 1024):
         self.items: List[Tuple[bytes, Address]] = []
         self.bytes = 0
@@ -111,6 +113,10 @@ class SocketLayer:
 
 
 class _SocketBase:
+    # Slotted (base + both subclasses): mega-scale workloads keep one or
+    # two live sockets per flow, so per-instance dicts dominate per_flow_kb.
+    __slots__ = ("layer", "host", "stack", "closed")
+
     def __init__(self, layer: SocketLayer):
         self.layer = layer
         self.host = layer.host
@@ -139,6 +145,8 @@ class _SocketBase:
 
 class UdpSocket(_SocketBase):
     """A datagram socket."""
+
+    __slots__ = ("port", "buffer")
 
     def __init__(self, layer: SocketLayer):
         super().__init__(layer)
@@ -194,6 +202,9 @@ class UdpSocket(_SocketBase):
 
 class TcpSocket(_SocketBase):
     """A stream socket wrapping a kernel TCB."""
+
+    __slots__ = ("tcb", "buffer", "connected", "sendable", "accept_queue",
+                 "acceptable", "peer_closed", "_listener", "_was_established")
 
     def __init__(self, layer: SocketLayer, tcb: Optional[Tcb] = None):
         super().__init__(layer)

@@ -388,6 +388,86 @@ class TestPartitionedManyFlows:
         assert current["events"] == oracle["events"]
 
 
+class TestPartitionedMegaFlows:
+    def test_parallel_matches_serial_oracle(self):
+        from repro.bench.parallel import run_partitioned_workload
+        serial = run_partitioned_workload("mega_flows", SMALL_SCALE, 2,
+                                          parallel=False)
+        current = run_partitioned_workload("mega_flows", SMALL_SCALE, 2,
+                                           parallel=True)
+        assert current["fingerprint"] == serial["fingerprint"]
+        assert current["events"] == serial["events"]
+        assert current["metrics"] == serial["metrics"]
+        assert serial["executor"] == "serial"
+        assert current["executor"] == "parallel"
+
+    def test_deferred_replies_hold_every_flow_live(self):
+        from repro.bench.wallclock import _mega_flows
+        record = _mega_flows(SMALL_SCALE)
+        fp = record["fingerprint"]
+        assert fp["tcp_done"] + fp["udp_done"] == SMALL_SCALE
+        # Every 8th flow is TCP, and the server defers every push until
+        # all flows have arrived -- so the connection peak is exactly
+        # the full TCP population, not a trickle of early retirements.
+        assert fp["peak_conns"] == SMALL_SCALE // 8
+        assert fp["bytes_in"] > 0
+
+    def test_mega_flows_is_on_demand_only(self):
+        from repro.bench.wallclock import ON_DEMAND_WORKLOADS, WORKLOADS
+        assert "mega_flows" in WORKLOADS
+        assert "mega_flows" in ON_DEMAND_WORKLOADS
+
+
+class TestRoundOverhead:
+    def test_executors_agree_and_export_metrics(self):
+        from repro.bench.parallel import run_round_overhead
+        serial = run_round_overhead(messages=20, parallel=False)
+        par = run_round_overhead(messages=20, parallel=True)
+        # Every ping forces a round over, every echo a round back, plus
+        # the final empty round that discovers termination.
+        assert serial["rounds"] == par["rounds"] == 2 * 20 + 1
+        assert serial["frames_routed"] == par["frames_routed"] == 2 * 20
+        for record in (serial, par):
+            assert record["rounds_per_sec"] > 0
+            assert record["metrics"]["sim.coord.rounds"]["value"] == \
+                record["rounds"]
+            assert record["metrics"]["sim.coord.frames_routed"]["value"] == \
+                record["frames_routed"]
+        assert serial["executor"] == "serial"
+        assert par["executor"] == "parallel"
+        assert par["ring_fallbacks"] == 0
+
+
+class TestSpeedupExpectation:
+    def test_single_core_records_skip_note(self, monkeypatch):
+        from repro.bench import parallel
+        monkeypatch.setattr(parallel, "affinity_cores", lambda: 1)
+        verdict = parallel.speedup_expectation(
+            [{"sim_jobs": 2, "executor": "parallel", "speedup": 0.5}])
+        assert verdict["gated"] is False
+        assert verdict["passed"] is None
+        assert "single core" in verdict["note"]
+        assert verdict["affinity_cores"] == 1
+
+    def test_multi_core_gates_the_jobs2_leg(self, monkeypatch):
+        from repro.bench import parallel
+        monkeypatch.setattr(parallel, "affinity_cores", lambda: 4)
+        leg = {"sim_jobs": 2, "executor": "parallel", "speedup": 1.5}
+        verdict = parallel.speedup_expectation([leg], min_speedup=1.3)
+        assert verdict["gated"] is True and verdict["passed"] is True
+        verdict = parallel.speedup_expectation(
+            [dict(leg, speedup=1.1)], min_speedup=1.3)
+        assert verdict["passed"] is False
+
+    def test_multi_core_without_jobs2_leg_skips(self, monkeypatch):
+        from repro.bench import parallel
+        monkeypatch.setattr(parallel, "affinity_cores", lambda: 4)
+        verdict = parallel.speedup_expectation(
+            [{"sim_jobs": 4, "executor": "parallel", "speedup": 2.0}])
+        assert verdict["gated"] is False
+        assert verdict["passed"] is None
+
+
 # ---------------------------------------------------------------------------
 # merge_snapshots
 # ---------------------------------------------------------------------------
@@ -439,3 +519,33 @@ class TestMergeSnapshots:
         assert merge_snapshots([]) == {}
         one = {"a": {"type": "counter", "value": 4}}
         assert merge_snapshots([one]) == one
+
+    def test_empty_registry_snapshot_is_identity(self):
+        # A partition with no instruments registered contributes nothing.
+        assert merge_snapshots([{}]) == {}
+        one = {"a": {"type": "counter", "value": 4}}
+        assert merge_snapshots([{}, one, {}]) == one
+
+    def test_histogram_bucket_count_mismatch_raises(self):
+        # Same bounds but different counts lengths: a zip-based merge
+        # would silently drop the tail buckets instead of failing.
+        h1 = {"type": "histogram", "value": {
+            "bounds": [1.0, 10.0], "counts": [1, 2, 3], "count": 6,
+            "sum": 10.0}}
+        h2 = {"type": "histogram", "value": {
+            "bounds": [1.0, 10.0], "counts": [1, 2], "count": 3,
+            "sum": 5.0}}
+        with pytest.raises(MetricError, match="buckets"):
+            merge_snapshots([{"h": h1}, {"h": h2}])
+        with pytest.raises(MetricError, match="buckets"):
+            merge_snapshots([{"h": h2}, {"h": h1}])
+
+    def test_disjoint_counter_sets_union(self):
+        merged = merge_snapshots([
+            {"only.left": {"type": "counter", "value": 1}},
+            {"only.right": {"type": "counter", "value": 2}},
+        ])
+        assert merged == {
+            "only.left": {"type": "counter", "value": 1},
+            "only.right": {"type": "counter", "value": 2},
+        }

@@ -1,0 +1,147 @@
+"""The zero-pickle boundary transport: frame packing and shm rings.
+
+The ring's correctness argument is lockstep cursors: both sides apply
+the identical wrap rule, so these tests drive a writer mapping and an
+independent reader mapping of the same segment through multi-round
+push/pop sequences -- including both wrap variants (tail too small for
+a record header vs. tail large enough to hold the explicit wrap
+marker) -- and assert the reader observes exactly the written records.
+Failure modes must be loud: a single record larger than the whole ring
+raises, an oversize *batch* is refused atomically (ring untouched, the
+caller's cue to take the pickle fallback), and a reader that drains
+into a wrap marker raises rather than returning garbage.
+"""
+
+import pytest
+
+from repro.sim.shm import (FrameRing, RingError, decode_payload,
+                           encode_payload, pack_frame, ring_bytes,
+                           unpack_frame)
+from repro.sim.shm import _RECORD  # the record header layout
+
+
+@pytest.fixture
+def ring_pair():
+    """A writer mapping and an independent reader mapping of one ring."""
+    made = []
+
+    def make(size):
+        writer = FrameRing(size=size)
+        reader = FrameRing(size=size, name=writer.name)
+        made.append((writer, reader))
+        return writer, reader
+
+    yield make
+    for writer, reader in made:
+        reader.close()
+        writer.close()
+        writer.unlink()
+
+
+def rec(arrival, payload, channel=0, sender=0, seq=1, kind=0):
+    return (arrival, channel, sender, seq, kind, payload)
+
+
+class TestFramePacking:
+    def test_roundtrip(self):
+        packed = pack_frame(b"\x00\x01payload", "t3-0", "t3-1", 612)
+        assert type(packed) is bytes
+        data, src, dst, wire = unpack_frame(packed)
+        assert data == b"\x00\x01payload"
+        assert (src, dst, wire) == ("t3-0", "t3-1", 612)
+
+    def test_empty_data(self):
+        data, src, dst, wire = unpack_frame(pack_frame(b"", "a", "b", 0))
+        assert data == b"" and (src, dst, wire) == ("a", "b", 0)
+
+    def test_encode_bytes_is_zero_copy_kind(self):
+        kind, blob = encode_payload(b"raw")
+        assert kind == 0 and blob == b"raw"
+        assert decode_payload(kind, blob) == b"raw"
+
+    def test_encode_non_bytes_pickles(self):
+        payload = ("tuple", 3, [1.5])
+        kind, blob = encode_payload(payload)
+        assert kind == 1
+        assert decode_payload(kind, blob) == payload
+
+
+class TestRingBytes:
+    def test_default_and_env_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_RING_KB", raising=False)
+        assert ring_bytes() == 256 * 1024
+        monkeypatch.setenv("REPRO_SIM_RING_KB", "64")
+        assert ring_bytes() == 64 * 1024
+        monkeypatch.setenv("REPRO_SIM_RING_KB", "not-a-number")
+        assert ring_bytes() == 256 * 1024
+
+
+class TestFrameRing:
+    def test_push_pop_roundtrip_across_mappings(self, ring_pair):
+        writer, reader = ring_pair(4096)
+        records = [rec(1.5, b"alpha", channel=2, sender=1, seq=7),
+                   rec(2.5, b"", channel=0, sender=0, seq=8, kind=1),
+                   rec(2.5, b"b" * 100, channel=1, sender=1, seq=9)]
+        assert writer.push_all(records) is True
+        assert reader.pop(3) == records
+        assert writer.records == reader.records == 3
+
+    def test_wrap_with_tail_too_small_for_header(self, ring_pair):
+        # need = header + 20; two records leave a tail smaller than a
+        # record header, so the wrap is implicit on both sides.
+        size = 2 * (_RECORD.size + 20) + 4
+        writer, reader = ring_pair(size)
+        first = [rec(1.0, b"a" * 20), rec(2.0, b"b" * 20, seq=2)]
+        assert writer.push_all(first)
+        assert reader.pop(2) == first
+        wrapped = [rec(3.0, b"c" * 20, seq=3)]
+        assert writer.push_all(wrapped)
+        assert reader.pop(1) == wrapped
+
+    def test_wrap_with_explicit_marker(self, ring_pair):
+        # One record leaves a tail big enough for a header but not for
+        # the next record: the writer parks a wrap marker there and the
+        # reader must honor it.
+        size = _RECORD.size + 30 + _RECORD.size + 10
+        writer, reader = ring_pair(size)
+        assert writer.push_all([rec(1.0, b"x" * 30)])
+        assert reader.pop(1) == [rec(1.0, b"x" * 30)]
+        assert writer.push_all([rec(2.0, b"y" * 30, seq=2)])
+        assert reader.pop(1) == [rec(2.0, b"y" * 30, seq=2)]
+
+    def test_many_rounds_stay_in_lockstep(self, ring_pair):
+        writer, reader = ring_pair(256)
+        for round_no in range(200):
+            payload = bytes([round_no % 251]) * (round_no % 60)
+            batch = [rec(float(round_no), payload, seq=round_no)]
+            assert writer.push_all(batch) is True
+            assert reader.pop(1) == batch
+        assert writer._offset == reader._offset
+        assert writer.records == reader.records == 200
+
+    def test_single_record_larger_than_ring_raises(self, ring_pair):
+        writer, _reader = ring_pair(128)
+        with pytest.raises(RingError, match="REPRO_SIM_RING_KB"):
+            writer.push_all([rec(1.0, b"z" * 256)])
+
+    def test_oversize_batch_refused_atomically(self, ring_pair):
+        size = 3 * (_RECORD.size + 16)
+        writer, reader = ring_pair(size)
+        # Each record fits alone, but four of them exceed the ring: the
+        # push must refuse the whole batch without moving the cursor...
+        batch = [rec(float(i), bytes([i]) * 16, seq=i) for i in range(4)]
+        assert writer.push_all(batch) is False
+        assert writer._offset == 0 and writer.records == 0
+        # ...so a fitting batch afterwards lands exactly where the
+        # reader expects it.
+        fits = batch[:3]
+        assert writer.push_all(fits) is True
+        assert reader.pop(3) == fits
+
+    def test_corrupt_length_fails_loudly(self, ring_pair):
+        writer, reader = ring_pair(128)
+        # Forge a header whose payload length overruns the ring: the
+        # reader must refuse rather than slice garbage bytes.
+        _RECORD.pack_into(writer._shm.buf, 0, 1.0, 1, 0, 0, 4096, 0)
+        with pytest.raises(RingError, match="over-drained or corrupt"):
+            reader.pop(1)

@@ -7,7 +7,10 @@ segments, and fast recovery must deflate cwnd back to ssthresh when the
 recovery point is acked.
 """
 
+from contextlib import contextmanager
+
 from repro.net.tcp import TcpState
+from repro.net.tcp.tcb import Tcb
 
 from nethelpers import make_pair
 from test_net_tcp import establish
@@ -19,6 +22,24 @@ def _is_data_segment(packet_bytes: bytes) -> bool:
     return len(packet_bytes) > 200
 
 
+@contextmanager
+def spy_on(name, hook):
+    """Wrap ``Tcb.<name>`` so ``hook(self, orig, *args)`` replaces each call.
+
+    Tcb is slotted (no per-instance method override), so spying happens
+    at class level; hooks filter on ``self`` to watch one connection.
+    """
+    orig = getattr(Tcb, name)
+
+    def wrapper(self, *args):
+        return hook(self, orig, *args)
+    setattr(Tcb, name, wrapper)
+    try:
+        yield
+    finally:
+        setattr(Tcb, name, orig)
+
+
 class TestRtoBackoff:
     def test_backoff_doubles_to_ceiling_then_gives_up(self):
         engine, wire, a, b = make_pair()
@@ -28,15 +49,15 @@ class TestRtoBackoff:
         wire.drop_filter = lambda pkt, nh: True  # black hole
 
         rtos = []
-        orig = client._retransmit_one
 
-        def spy():
-            rtos.append(client.rto)
-            orig()
-        client._retransmit_one = spy
+        def spy(tcb, orig):
+            if tcb is client:
+                rtos.append(tcb.rto)
+            orig(tcb)
 
-        a.run_kernel(lambda: client.send(bytes(512)))
-        engine.run()
+        with spy_on("_retransmit_one", spy):
+            a.run_kernel(lambda: client.send(bytes(512)))
+            engine.run()
 
         # Gave up after the full backoff schedule, signalling the app.
         assert resets == [True]
@@ -75,12 +96,11 @@ class TestKarn:
         client, server = establish(engine, a, b)
 
         samples = []
-        orig_update = client._update_rtt
 
-        def spy(sample_us):
-            samples.append(sample_us)
-            orig_update(sample_us)
-        client._update_rtt = spy
+        def spy(tcb, orig, sample_us):
+            if tcb is client:
+                samples.append(sample_us)
+            orig(tcb, sample_us)
 
         dropped = []
 
@@ -94,19 +114,20 @@ class TestKarn:
         srtt_before = client.srtt
         assert srtt_before is not None  # handshake took a sample
 
-        a.run_kernel(lambda: client.send(bytes(512)))
-        engine.run()
-        # The segment was retransmitted, so its ack is ambiguous: Karn's
-        # rule forbids sampling it.
-        assert dropped and client.retransmits == 1
-        assert samples == []
-        assert client.srtt == srtt_before
+        with spy_on("_update_rtt", spy):
+            a.run_kernel(lambda: client.send(bytes(512)))
+            engine.run()
+            # The segment was retransmitted, so its ack is ambiguous:
+            # Karn's rule forbids sampling it.
+            assert dropped and client.retransmits == 1
+            assert samples == []
+            assert client.srtt == srtt_before
 
-        # A clean (never-retransmitted) segment resumes sampling.
-        wire.drop_filter = None
-        a.run_kernel(lambda: client.send(bytes(512)))
-        engine.run()
-        assert len(samples) == 1
+            # A clean (never-retransmitted) segment resumes sampling.
+            wire.drop_filter = None
+            a.run_kernel(lambda: client.send(bytes(512)))
+            engine.run()
+            assert len(samples) == 1
 
     def test_timeout_clears_rtt_sequence(self):
         engine, wire, a, b = make_pair()
@@ -162,19 +183,20 @@ class TestFastRecovery:
 
         deflations = []
         inflated = []
-        orig = client._process_ack
 
-        def spy(seg):
-            in_recovery = client.dupacks >= 3
+        def spy(tcb, orig, seg):
+            if tcb is not client:
+                return orig(tcb, seg)
+            in_recovery = tcb.dupacks >= 3
             if in_recovery:
-                inflated.append(client.cwnd)
-            orig(seg)
-            if in_recovery and client.dupacks == 0:
-                deflations.append((client.cwnd, client.ssthresh))
-        client._process_ack = spy
+                inflated.append(tcb.cwnd)
+            orig(tcb, seg)
+            if in_recovery and tcb.dupacks == 0:
+                deflations.append((tcb.cwnd, tcb.ssthresh))
 
-        a.run_kernel(lambda: client.send(bytes(total)))
-        engine.run()
+        with spy_on("_process_ack", spy):
+            a.run_kernel(lambda: client.send(bytes(total)))
+            engine.run()
         assert client.fast_retransmits == 1
         # While in recovery the window was inflated past ssthresh...
         assert inflated and max(inflated) >= client.ssthresh
