@@ -139,9 +139,44 @@ def _mega_flows_partition(index: int, n_partitions: int, spec: Dict):
                                        rss0_kb))
 
 
+def _fabric_fat_tree_partition(index: int, n_partitions: int, spec: Dict):
+    """Build one fat-tree shard (runs inside the owning process).
+
+    Unlike the flow-sharded workloads, ``scale`` is *per host* and is
+    not split: the topology is sharded instead (contiguous pods per
+    partition, cores on partition 0, agg-to-core wires crossing shards
+    as boundary channels), so every datagram crosses the partition
+    boundary twice on its way through the core tier.
+    """
+    from ..fabric.topology import fat_tree_partition
+    from ..obs.wire import instrument_testbed
+    from ..sim import Partition, PartitionEngine
+    from .wallclock import (_FABRIC_K, _fabric_fat_tree_setup,
+                            _fabric_switch_totals, _rss_now_kb)
+
+    rss0_kb = _rss_now_kb()
+    engine = PartitionEngine(index)
+    bed = fat_tree_partition(_FABRIC_K, index, n_partitions, engine)
+    state, main_factory = _fabric_fat_tree_setup(bed, spec["scale"])
+    main = engine.process(main_factory(), name="wallclock-fabric")
+
+    def result() -> Dict:
+        main.value
+        record = dict(state)
+        record.update(_fabric_switch_totals(bed))
+        record["final_now_us"] = engine.now
+        record["events"] = engine.events_processed
+        record["metrics"] = instrument_testbed(bed).snapshot()
+        record["rss_grew_kb"] = max(0, _rss_now_kb() - rss0_kb)
+        return record
+
+    return Partition(engine, done=lambda: main.triggered, result=result)
+
+
 _PARTITION_BUILDERS = {
     "many_flows": _many_flows_partition,
     "mega_flows": _mega_flows_partition,
+    "fabric_fat_tree": _fabric_fat_tree_partition,
 }
 
 
@@ -167,7 +202,9 @@ def run_partitioned_workload(workload: str, scale: int, sim_jobs: int,
     builder = _PARTITION_BUILDERS[workload]
     if sim_jobs < 1:
         raise ValueError("sim_jobs must be >= 1, got %d" % sim_jobs)
-    if scale < sim_jobs:
+    # fabric_fat_tree shards the topology, not the flow count; its
+    # builder validates that sim_jobs divides the pod count.
+    if workload != "fabric_fat_tree" and scale < sim_jobs:
         raise ValueError(
             "%s needs at least one flow per partition "
             "(scale=%d, sim_jobs=%d)" % (workload, scale, sim_jobs))
@@ -185,21 +222,24 @@ def run_partitioned_workload(workload: str, scale: int, sim_jobs: int,
     else:
         grew_kb = max(0, _rss_kb() - rss0_kb)
     events = sum(r["events"] for r in results)
-    served = sum(r["served"] for r in results)
-    packets = served * 2
-    return {
-        "wall_s": wall,
-        "events": events,
-        "events_per_sec": events / wall if wall > 0 else 0.0,
-        "packets": packets,
-        "packets_per_sec": packets / wall if wall > 0 else 0.0,
-        "per_flow_kb": grew_kb / scale,
-        "sim_jobs": sim_jobs,
-        "executor": executor,
-        "rounds": simulation.rounds,
-        "round_stats": simulation.round_stats(),
-        "metrics": merge_snapshots([r["metrics"] for r in results]),
-        "fingerprint": {
+    if workload == "fabric_fat_tree":
+        packets = sum(r["received"] for r in results)
+        fingerprint = {
+            "scale": scale,
+            "partitions": sim_jobs,
+            "sent": sum(r["sent"] for r in results),
+            "received": sum(r["received"] for r in results),
+            "bytes": sum(r["bytes"] for r in results),
+            "switch_forwarded": sum(r["switch_forwarded"] for r in results),
+            "switch_dropped": sum(r["switch_dropped"] for r in results),
+            "ecmp": sum(r["ecmp"] for r in results),
+            "final_now_us": max(r["final_now_us"] for r in results),
+        }
+        per_flow_denominator = max(1, fingerprint["sent"])
+    else:
+        served = sum(r["served"] for r in results)
+        packets = served * 2
+        fingerprint = {
             "flows": scale,
             "partitions": sim_jobs,
             "tcp_done": sum(r["tcp_done"] for r in results),
@@ -210,7 +250,21 @@ def run_partitioned_workload(workload: str, scale: int, sim_jobs: int,
             "peak_conns": sum(r["peak_conns"] for r in results),
             "peak_watched": sum(r["peak_watched"] for r in results),
             "final_now_us": max(r["final_now_us"] for r in results),
-        },
+        }
+        per_flow_denominator = scale
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "packets": packets,
+        "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        "per_flow_kb": grew_kb / per_flow_denominator,
+        "sim_jobs": sim_jobs,
+        "executor": executor,
+        "rounds": simulation.rounds,
+        "round_stats": simulation.round_stats(),
+        "metrics": merge_snapshots([r["metrics"] for r in results]),
+        "fingerprint": fingerprint,
     }
 
 

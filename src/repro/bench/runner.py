@@ -179,4 +179,11 @@ def run_wallclock_suite(names: Sequence[str], gated: Sequence[str],
         _fn, quick_scale, full_scale = WORKLOADS["many_flows"]
         scale = quick_scale if quick else full_scale
         parallel_legs = run_parallel_legs([sim_jobs], scale)
+        # A second oracle-gated leg through the switch fabric: same
+        # partition count, but the boundary now cuts a multi-hop
+        # topology (agg-to-core wires) instead of sharding flows.
+        _fn, quick_scale, full_scale = WORKLOADS["fabric_fat_tree"]
+        fabric_scale = quick_scale if quick else full_scale
+        parallel_legs += run_parallel_legs([sim_jobs], fabric_scale,
+                                           workload="fabric_fat_tree")
     return current, prechange, parallel_legs

@@ -80,7 +80,11 @@ __all__ = [
 #: equality.  The classic ``workloads`` records are untouched by
 #: ``--sim-jobs`` -- their fingerprints stay comparable to the committed
 #: baseline regardless of the flag.
-REPORT_SCHEMA_VERSION = 6
+#: Schema 7 adds the on-demand ``fabric_fat_tree`` workload (open-loop
+#: traffic across a k=4 fat-tree of match-action switches) and lets the
+#: ``parallel`` section carry legs from more than one workload; existing
+#: records and their fingerprints are unchanged.
+REPORT_SCHEMA_VERSION = 7
 REPORT_FILENAME = "BENCH_wallclock.json"
 
 #: repo-root and committed-baseline locations, resolved relative to this file
@@ -719,6 +723,149 @@ def _mega_flows(scale: int, instrument=None, sim_jobs: int = 1) -> Dict:
     }
 
 
+_FABRIC_K = 4
+_FABRIC_RX_PORT = 9000
+_FABRIC_TX_PORT = 9001
+
+
+def _fabric_fat_tree_setup(bed, scale: int):
+    """Wire the open-loop fabric scenario onto a built fat-tree bed.
+
+    Every edge host streams ``scale`` UDP datagrams to its image in the
+    pod ``k/2`` away -- the same (edge, slot), pod ``(p + k/2) % k`` --
+    so every flow crosses the core tier (and, under ``--sim-jobs``, the
+    partition boundary).  Departures follow a per-host
+    :class:`~repro.fabric.traffic.OpenLoopSource` (even global host ids
+    Poisson, odd Pareto; seeds derived from the host id), so the traffic
+    matrix is a pure function of (k, hosts_per_edge, scale).  Returns
+    ``(state, main_factory)`` like the other setup helpers; shared by
+    the classic workload and the partitioned shards.
+    """
+    from ..core.manager import Credential
+    from ..fabric.traffic import OpenLoopSource
+    from ..lang.ephemeral import ephemeral
+    from ..net.headers import ip_aton
+    from ..sim import Signal
+
+    engine = bed.engine
+    k = bed.fat_tree_k
+    half = k // 2
+    hpe = bed.hosts_per_edge
+
+    # Open-loop UDP carries no retransmit: a dropped frame parks its
+    # receiver short of the expected count forever.  Host rings see at
+    # most ``scale`` frames each way; a core-tier port aggregates every
+    # host of one pod, so provision for the pod's worth.
+    for nic in bed.nics:
+        nic.provision_rings(max(256, scale * half * hpe))
+
+    state = {"sent": 0, "received": 0, "bytes": 0}
+    expected = scale * len(bed.host_locator)
+    all_done = Signal(engine)
+
+    @ephemeral
+    def receive(m, off, src_ip, src_port, dst_ip, dst_port):
+        state["received"] += 1
+        state["bytes"] += len(m.to_bytes()) - off
+        if state["received"] == expected:
+            all_done.fire()
+
+    senders = []
+    for index, (p, e, s) in enumerate(bed.host_locator):
+        stack = bed.stacks[index]
+        stack.udp_manager.bind(Credential("fabric-rx-%d-%d-%d" % (p, e, s)),
+                               _FABRIC_RX_PORT, receive)
+        endpoint = stack.udp_manager.bind(
+            Credential("fabric-tx-%d-%d-%d" % (p, e, s)), _FABRIC_TX_PORT,
+            receive)
+        gid = (p * half + e) * hpe + s
+        source = OpenLoopSource(
+            seed=0xFAB0 + gid,
+            arrival="poisson" if gid % 2 == 0 else "pareto",
+            mean_gap_us=40.0,
+            size_dist="fixed" if gid % 2 == 0 else "pareto",
+            fixed_size=256, min_size=32, max_size=1400)
+        dst_ip = ip_aton("10.%d.%d.%d" % ((p + half) % k, e, s + 2))
+        senders.append((index, endpoint, dst_ip, source.schedule(scale)))
+
+    def sender_loop(index, endpoint, dst_ip, plan):
+        host = bed.hosts[index]
+        for seq, (gap_us, size) in enumerate(plan):
+            yield engine.pooled_timeout(gap_us)
+            payload = seq.to_bytes(4, "big") + bytes(size - 4)
+            yield from host.kernel_path(
+                lambda data=payload: endpoint.send(data, dst_ip,
+                                                   _FABRIC_RX_PORT))
+            state["sent"] += 1
+
+    def main():
+        for index, endpoint, dst_ip, plan in senders:
+            engine.process(sender_loop(index, endpoint, dst_ip, plan),
+                           name="fabric-src-%d" % index)
+        yield all_done.wait()
+
+    return state, main
+
+
+def _fabric_switch_totals(bed) -> Dict:
+    totals = {"switch_forwarded": 0, "switch_dropped": 0, "ecmp": 0}
+    for switch in getattr(bed, "switches", ()):
+        totals["switch_forwarded"] += switch.pipeline_forwarded
+        totals["switch_dropped"] += switch.pipeline_dropped
+        totals["ecmp"] += switch.ecmp_decisions
+    return totals
+
+
+def _fabric_fat_tree(scale: int, instrument=None, sim_jobs: int = 1) -> Dict:
+    """Match-action fabric: open-loop UDP across a k=4 fat-tree.
+
+    8 spin hosts on 20 programmed :class:`~repro.fabric.switch.
+    SwitchHost` stages (LPM tables, seeded ECMP up the tree), every flow
+    core-crossing by construction.  ``scale`` is datagrams per host.
+    The fingerprint folds in per-switch forwarding totals, so a single
+    misrouted or double-counted frame anywhere in the fabric fails the
+    determinism gate.
+
+    On-demand like ``mega_flows``: run it by name, or partitioned via
+    ``--sim-jobs N`` (N must divide the pod count) where it is gated on
+    exact equality against the serial-executor oracle.
+    """
+    if sim_jobs > 1:
+        from .parallel import run_partitioned_workload
+        return run_partitioned_workload("fabric_fat_tree", scale, sim_jobs)
+
+    from ..fabric.topology import fat_tree
+
+    bed = fat_tree(_FABRIC_K)
+    if instrument is not None:
+        instrument(bed)
+    engine = bed.engine
+    state, main = _fabric_fat_tree_setup(bed, scale)
+
+    wall0 = time.perf_counter()
+    engine.run_process(main(), name="wallclock-fabric")
+    wall = time.perf_counter() - wall0
+
+    events = engine.events_processed
+    packets = state["received"]
+    fingerprint = {
+        "sent": state["sent"],
+        "received": state["received"],
+        "bytes": state["bytes"],
+        "final_now_us": engine.now,
+    }
+    fingerprint.update(_fabric_switch_totals(bed))
+    return {
+        "wall_s": wall,
+        "events": events,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        "packets": packets,
+        "packets_per_sec": packets / wall if wall > 0 else 0.0,
+        "metrics": _metrics_snapshot(bed),
+        "fingerprint": fingerprint,
+    }
+
+
 #: name -> (workload fn, quick scale, full scale).  Scales are part of the
 #: fingerprint contract: changing them changes the expected fingerprints.
 WORKLOADS: Dict[str, tuple] = {
@@ -727,17 +874,18 @@ WORKLOADS: Dict[str, tuple] = {
     "tcp_bulk": (_tcp_bulk, 100_000, 400_000),
     "many_flows": (_many_flows, 2_000, 6_000),
     "mega_flows": (_mega_flows, 50_000, 100_000),
+    "fabric_fat_tree": (_fabric_fat_tree, 40, 200),
 }
 
 #: Workloads excluded from the default suite / fingerprint sweep: big
 #: enough that they run only when named explicitly (``--wallclock``
 #: budgets and the committed BENCH_wallclock.json schema stay unchanged).
-ON_DEMAND_WORKLOADS = ("mega_flows",)
+ON_DEMAND_WORKLOADS = ("mega_flows", "fabric_fat_tree")
 
 #: Workloads whose quick scale is itself huge warm up at a smaller one
 #: (the warmup pass exists to heat imports/codegen/pools, not to pay the
 #: full workload twice).
-_WARMUP_SCALE: Dict[str, int] = {"mega_flows": 2_000}
+_WARMUP_SCALE: Dict[str, int] = {"mega_flows": 2_000, "fabric_fat_tree": 10}
 
 #: workloads with a SPIN dispatcher in the loop: exactly these behave
 #: differently under ``REPRO_FLOW_COMPILE`` / ``REPRO_FLOW_CACHE`` and
@@ -807,10 +955,11 @@ def run_workload(name: str, quick: bool = False,
     worker processes; the merged ``metrics`` snapshot still rolls up.
     """
     fn, quick_scale, full_scale = WORKLOADS[name]
-    if sim_jobs > 1 and name not in ("many_flows", "mega_flows"):
+    if sim_jobs > 1 and name not in ("many_flows", "mega_flows",
+                                     "fabric_fat_tree"):
         raise ValueError(
-            "sim_jobs > 1 is only supported by the many_flows and "
-            "mega_flows workloads, not %r" % name)
+            "sim_jobs > 1 is only supported by the many_flows, mega_flows "
+            "and fabric_fat_tree workloads, not %r" % name)
     scale = quick_scale if quick else full_scale
     workload_kwargs = {"sim_jobs": sim_jobs} if sim_jobs > 1 else {}
     overrides = _MODE_ENV[mode]
@@ -907,7 +1056,13 @@ def run_suite(quick: bool = False, repeats: int = 1,
             for name, leg in legs.items()
         }
     if parallel_legs:
-        report["parallel"] = {"workload": "many_flows", "legs": parallel_legs}
+        # "workload" names the headline (back-compat with schema 6
+        # readers); each leg carries its own "workload" field.
+        report["parallel"] = {
+            "workload": "many_flows",
+            "workloads": sorted({leg["workload"] for leg in parallel_legs}),
+            "legs": parallel_legs,
+        }
     baseline = load_baseline()
     report["comparison"] = compare_to_baseline(report, baseline or {})
     return report

@@ -25,7 +25,8 @@ import time
 from typing import List
 
 from .bundle import DEFAULT_BUNDLE_DIR, load_bundle, write_bundle
-from .campaign import build_quick_corpus, run_campaign, run_corpus
+from .campaign import (build_fabric_corpus, build_quick_corpus, run_campaign,
+                       run_corpus)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -34,7 +35,8 @@ def _parser() -> argparse.ArgumentParser:
         description="seeded network-impairment campaigns with invariant "
                     "checking")
     parser.add_argument("--quick", action="store_true",
-                        help="run the fixed quick corpus (27 campaigns)")
+                        help="run the fixed quick corpus (27 campaigns + "
+                             "6 fat-tree fabric campaigns)")
     parser.add_argument("--count", type=int, default=None,
                         help="number of corpus campaigns (default 27)")
     parser.add_argument("--seed", type=int, default=1996,
@@ -125,6 +127,10 @@ def main(argv: List[str] = None) -> int:
 
     count = args.count if args.count is not None else 27
     specs = build_quick_corpus(base_seed=args.seed, count=count)
+    if args.quick:
+        # The fixed quick corpus carries the multi-hop fat-tree
+        # campaigns; explicit --count N runs stay at exactly N.
+        specs += build_fabric_corpus(base_seed=args.seed)
     if args.sabotage:
         specs[0] = dataclasses.replace(specs[0], sabotage=args.sabotage)
 

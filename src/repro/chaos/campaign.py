@@ -26,12 +26,16 @@ from .invariants import check_all
 from .workloads import WORKLOADS, WorkloadState
 
 __all__ = ["CampaignSpec", "CampaignContext", "sample_config",
-           "build_quick_corpus", "run_campaign", "run_corpus",
-           "DRAIN_US", "TRACE_LIMIT"]
+           "build_quick_corpus", "build_fabric_corpus", "run_campaign",
+           "run_corpus", "DRAIN_US", "TRACE_LIMIT"]
 
 #: Post-shutdown settling time: covers the worst retransmit give-up
 #: (8 backoffs capped at 640 ms each ~= 5.1 s) plus TIME_WAIT (1 s).
 DRAIN_US = 12_000_000.0
+
+#: Settling time after the process-exit abort sweep: one RST each way
+#: plus generous slack.
+ABORT_DRAIN_US = 2_000_000.0
 
 #: Ring size of the per-campaign tracer -- the decoded tail that lands in
 #: a repro bundle.
@@ -56,6 +60,12 @@ class CampaignSpec:
     config: ImpairmentConfig
     oracle: bool = False          # also run the REPRO_FLOW_CACHE=0 oracle
     sabotage: Optional[str] = None  # deliberate breakage (tests/CI demo)
+    #: media indexes (``bed.media()`` order) to impair; None = every wire.
+    #: Multi-hop fabric beds use this to hit one core link and nothing else.
+    impair_wires: Optional[Tuple[int, ...]] = None
+    #: (core_index, at_us): schedule a control-plane re-route around that
+    #: core mid-campaign (fabric beds only).
+    reroute: Optional[Tuple[int, float]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         record = dataclasses.asdict(self)
@@ -66,6 +76,10 @@ class CampaignSpec:
     def from_dict(cls, record: Dict[str, Any]) -> "CampaignSpec":
         record = dict(record)
         record["config"] = ImpairmentConfig.from_dict(record["config"])
+        if record.get("impair_wires") is not None:
+            record["impair_wires"] = tuple(record["impair_wires"])
+        if record.get("reroute") is not None:
+            record["reroute"] = tuple(record["reroute"])
         return cls(**record)
 
 
@@ -206,6 +220,54 @@ def build_quick_corpus(base_seed: int = 1996,
     return specs
 
 
+def build_fabric_corpus(base_seed: int = 1996) -> List[CampaignSpec]:
+    """Six fat-tree (k=4) campaigns: multi-hop traffic with the chaos
+    aimed at the core tier only (``impair_wires`` selects agg-to-core
+    links; hosts' access links stay clean so every violation found is
+    the fabric's fault, not the workload stalling at its own doorstep).
+
+    ``fab005`` is the re-route campaign: core 0 -- the core the
+    ``tcp_bulk`` flow deterministically hashes through in both
+    directions -- flaps down at 400 ms and *stays* down, and at 500 ms a
+    scheduled control-plane update re-programs every pod's a0 aggregate
+    around it.  Byte-exact delivery of the full stream is then evidence
+    the re-route worked; retransmissions alone could never finish over a
+    dead link.
+    """
+    from ..fabric.topology import fat_tree_core_wires
+
+    core_wires = fat_tree_core_wires(4)
+    core0_wires = fat_tree_core_wires(4, core=0)
+    rotation = (
+        # (os, workload, scale, duration_us, wires, reroute, flap-only)
+        ("spin", "tcp_bulk", 12_288, 2_500_000.0, core_wires, None, False),
+        ("spin", "udp_echo", 30, 1_200_000.0, core_wires, None, False),
+        ("unix", "tcp_bulk", 12_288, 2_500_000.0, core_wires, None, False),
+        ("spin", "mixed", 8, 2_500_000.0, core0_wires, None, False),
+        ("unix", "mixed", 8, 2_500_000.0, core_wires, None, False),
+        ("spin", "tcp_bulk", 12_288, 2_500_000.0, core0_wires,
+         (0, 500_000.0), True),
+    )
+    specs = []
+    for index, (os_name, workload, scale, duration, wires, reroute,
+                flap_only) in enumerate(rotation):
+        seed = base_seed + _WIRE_SEED_STRIDE * 131 * (index + 1)
+        if flap_only:
+            # Down at 400 ms, never back up inside the campaign: only
+            # the scheduled re-route can finish the stream.
+            config = ImpairmentConfig(flaps=((400_000.0, 20_000_000.0),))
+        else:
+            config = sample_config(random.Random(seed), duration)
+        specs.append(CampaignSpec(
+            name="fab%03d" % index, seed=seed, os_name=os_name,
+            device="fabric", workload=workload, scale=scale,
+            duration_us=duration, config=config,
+            oracle=(os_name == "spin" and index == 0),
+            impair_wires=wires, reroute=reroute,
+        ))
+    return specs
+
+
 # ---------------------------------------------------------------------------
 # execution
 # ---------------------------------------------------------------------------
@@ -214,11 +276,21 @@ def _execute(spec: CampaignSpec) -> CampaignContext:
     """Build, impair, drive, shut down, drain.  No checking yet."""
     from ..bench.testbed import build_testbed
 
-    bed = build_testbed(spec.os_name, spec.device)
+    if spec.device == "fabric":
+        from ..fabric.topology import fat_tree
+        bed = fat_tree(4, os_name=spec.os_name)
+    else:
+        bed = build_testbed(spec.os_name, spec.device)
     models = []
     for index, medium in enumerate(bed.media()):
+        if spec.impair_wires is not None and index not in spec.impair_wires:
+            continue
         models.append(medium.set_impairments(
             spec.config, seed=spec.seed + index * _WIRE_SEED_STRIDE))
+    if spec.reroute is not None:
+        from ..fabric.topology import schedule_core_avoidance
+        core_index, at_us = spec.reroute
+        schedule_core_avoidance(bed, at_us, core_index)
     tracer = PacketTracer(bed.engine, limit=TRACE_LIMIT)
     link_kind = "ethernet" if spec.device == "ethernet" else "raw"
     for nic in bed.nics:
@@ -229,6 +301,8 @@ def _execute(spec: CampaignSpec) -> CampaignContext:
     bed.engine.run(until=spec.duration_us)
     _shutdown(bed)
     bed.engine.run(until=spec.duration_us + DRAIN_US)
+    _abort_leftovers(bed)
+    bed.engine.run(until=spec.duration_us + DRAIN_US + ABORT_DRAIN_US)
     ctx = CampaignContext(spec, bed, state, models, tracer)
     if spec.sabotage:
         _apply_sabotage(ctx)
@@ -241,6 +315,17 @@ def _shutdown(bed) -> None:
         for tcb in list(stack.tcp.connections.values()):
             if tcb.state not in (TcpState.CLOSED, TcpState.TIME_WAIT):
                 host.spawn_kernel_path(tcb.close, name="chaos-close")
+
+
+def _abort_leftovers(bed) -> None:
+    """Model process exit after the graceful drain: any connection still
+    not terminal -- e.g. parked in FIN_WAIT_2 because the peer's FIN died
+    on an impaired wire and its retransmissions gave up -- is hard-reset,
+    exactly as a real kernel tears down sockets whose owner exits."""
+    for host, stack in zip(bed.hosts, bed.stacks):
+        for tcb in list(stack.tcp.connections.values()):
+            if tcb.state != TcpState.CLOSED:
+                host.spawn_kernel_path(tcb.abort, name="chaos-abort")
 
 
 def _apply_sabotage(ctx: CampaignContext) -> None:

@@ -155,14 +155,15 @@ def _mbuf_conservation(ctx) -> List[str]:
     chain links -- a jumbo segment on a large-MTU link spans several -- so
     the per-packet law is on ``pool.chains``.)"""
     problems = []
-    for host, nic in zip(ctx.bed.hosts, ctx.bed.nics):
-        expected = nic.tx_frames + nic.rx_frames
+    for host in ctx.bed.hosts:
+        tx = sum(nic.tx_frames for nic in host.nics.values())
+        rx = sum(nic.rx_frames for nic in host.nics.values())
+        expected = tx + rx
         pool = host.mbufs
         if pool.chains != expected:
             problems.append(
                 "%s: %d mbuf chains allocated, %d frames moved (tx=%d rx=%d)"
-                % (host.name, pool.chains, expected,
-                   nic.tx_frames, nic.rx_frames))
+                % (host.name, pool.chains, expected, tx, rx))
         if pool.allocated < pool.chains:
             problems.append("%s: %d chains but only %d mbufs"
                             % (host.name, pool.chains, pool.allocated))
@@ -170,6 +171,15 @@ def _mbuf_conservation(ctx) -> List[str]:
             problems.append("%s: freed %d > allocated %d"
                             % (host.name, pool.freed, pool.allocated))
     return problems
+
+
+@invariant("fabric_conservation")
+def _fabric_conservation(ctx) -> List[str]:
+    """On fabric beds, every frame a switch port accepted is counted
+    exactly once as pipeline-forwarded or pipeline-dropped.  Beds without
+    switches trivially satisfy this."""
+    check = getattr(ctx.bed, "switch_conservation", None)
+    return check() if check is not None else []
 
 
 @invariant("nic_rings_drained")

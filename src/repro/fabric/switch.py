@@ -1,0 +1,187 @@
+"""SwitchHost: a SPIN kernel whose application is a match-action pipeline.
+
+A switch is infrastructure built directly on :class:`SpinKernel` (like
+``repro.net.router.Router``) -- but unlike the router, its forwarding
+behaviour is *programmed*: every received frame is classified, raised as
+a ``Fabric.PacketRecv`` event through the ordinary dispatcher (so flow
+cache and codegen apply), and walked through the switch's match-action
+tables until a Forward or Drop decides its fate.
+
+Conservation law, checked by tests and chaos invariants: every frame a
+port accepts is counted exactly once as forwarded or dropped
+(``pipeline_packets == pipeline_forwarded + pipeline_dropped``), and the
+mbuf law holds (one chain per ingress frame, one per egress frame).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..net.flow import classify_frame
+from ..sim import SimulationError
+from .ecmp import ecmp_select
+from .table import (
+    Count,
+    Drop,
+    Forward,
+    MatchTable,
+    Modify,
+    PacketFields,
+    apply_modify,
+    refold_checksums,
+)
+
+__all__ = ["SwitchHost", "FabricPort"]
+
+
+class FabricPort:
+    """One switch port: a NIC plus its statically known peer address."""
+
+    __slots__ = ("index", "nic", "peer_addr", "received", "forwarded")
+
+    def __init__(self, index: int, nic, peer_addr: Optional[str] = None):
+        self.index = index
+        self.nic = nic
+        #: link address frames egress toward (set by the topology builder;
+        #: static so the peer may live on another partition's engine).
+        self.peer_addr = peer_addr
+        self.received = 0
+        self.forwarded = 0
+
+
+class SwitchHost:
+    """A programmable store-and-forward switch on the protocol graph."""
+
+    def __init__(self, kernel, name: Optional[str] = None, ecmp_seed: int = 0):
+        self.host = kernel
+        self.name = name or kernel.name
+        self.ecmp_seed = ecmp_seed
+        self.ports: List[FabricPort] = []
+        self.tables: List[MatchTable] = []
+        #: Count-action accumulators, by counter name
+        self.counters: Dict[str, int] = {}
+        self.pipeline_packets = 0
+        self.pipeline_forwarded = 0
+        self.pipeline_dropped = 0
+        self.pipeline_modified = 0
+        self.ecmp_decisions = 0
+        dispatcher = kernel.dispatcher
+        self.event = dispatcher.declare("Fabric.PacketRecv")
+        dispatcher.install(self.event, self._pipeline, guard=None,
+                           mode="inline", label="%s.pipeline" % self.name)
+        #: hook for repro.obs.wire.instrument_testbed
+        kernel.fabric_pipeline = self
+
+    # -- construction -----------------------------------------------------
+
+    def add_port(self, nic, peer_addr: Optional[str] = None) -> FabricPort:
+        """Attach ``nic`` as the next port and wire its interrupt input."""
+        port = FabricPort(len(self.ports), nic, peer_addr)
+        self.ports.append(port)
+        self.host.add_nic(nic)
+
+        def device_input(recv_nic, data, _port=port):
+            self._device_input(_port, data)
+        self.host.register_device_input(nic, device_input)
+        return port
+
+    def add_table(self, table: MatchTable) -> MatchTable:
+        """Append a pipeline stage (stages run in add order)."""
+        self.tables.append(table)
+        return table
+
+    # -- data plane -------------------------------------------------------
+
+    def _device_input(self, port: FabricPort, data: bytes) -> None:
+        """Interrupt-context entry: allocate, classify, raise the event."""
+        host = self.host
+        host.cpu.charge(host.costs.ethernet_input, "protocol")
+        m = host.mbufs.from_bytes(data, leading_space=0, rcvif=port.nic)
+        m.pkthdr.timestamp = host.engine.now
+        m.freeze()
+        key = classify_frame(m, 0)
+        entry = host.dispatcher.flow_cache.entry_for(key)
+        port.received += 1
+        host.dispatcher.raise_flow(self.event, entry, port, m)
+
+    def _pipeline(self, port: FabricPort, m) -> None:
+        """Walk the match-action tables; ends in exactly one fate."""
+        self.pipeline_packets += 1
+        data = m.to_bytes()
+        fields = PacketFields(data)
+        if not fields.ok:
+            self.pipeline_dropped += 1
+            return
+        buf: Optional[bytearray] = None
+        refold_l4 = False
+        for table in self.tables:
+            actions = table.lookup(fields)
+            if actions is None:
+                continue  # miss with no default: next stage
+            for action in actions:
+                if isinstance(action, Count):
+                    self.counters[action.name] = \
+                        self.counters.get(action.name, 0) + 1
+                elif isinstance(action, Modify):
+                    if buf is None:
+                        buf = bytearray(data)
+                    refold_l4 |= apply_modify(buf, fields, action)
+                    self.pipeline_modified += 1
+                elif isinstance(action, Drop):
+                    self.pipeline_dropped += 1
+                    return
+                elif isinstance(action, Forward):
+                    if buf is not None:
+                        refold_checksums(buf, refold_l4)
+                        data = bytes(buf)
+                    self._emit(action, fields, data)
+                    return
+                else:
+                    raise SimulationError("unknown action %r" % (action,))
+        # Fell off the pipeline with no decision: the packet is dropped.
+        self.pipeline_dropped += 1
+
+    def _emit(self, action: Forward, fields: PacketFields,
+              data: bytes) -> None:
+        ports = action.ports
+        if len(ports) == 1:
+            index = ports[0]
+        else:
+            index = ports[ecmp_select(self.ecmp_seed, fields.proto,
+                                      fields.src_ip, fields.dst_ip,
+                                      fields.src_port, fields.dst_port,
+                                      len(ports))]
+            self.ecmp_decisions += 1
+        egress = self.ports[index]
+        if egress.peer_addr is None:
+            raise SimulationError("%s port %d has no peer address"
+                                  % (self.name, index))
+        # The egress copy is buffered in a fresh mbuf chain so the
+        # per-host mbuf conservation law (one chain per frame moved)
+        # holds on switches exactly as on end hosts.
+        out = self.host.mbufs.from_bytes(data, leading_space=0)
+        egress.nic.stage_tx(out.to_bytes(), egress.peer_addr)
+        egress.forwarded += 1
+        self.pipeline_forwarded += 1
+
+    # -- observability ----------------------------------------------------
+
+    def register_metrics(self, registry) -> None:
+        registry.source("fabric.pipeline.packets",
+                        lambda: self.pipeline_packets)
+        registry.source("fabric.pipeline.forwarded",
+                        lambda: self.pipeline_forwarded)
+        registry.source("fabric.pipeline.dropped",
+                        lambda: self.pipeline_dropped)
+        registry.source("fabric.pipeline.modified",
+                        lambda: self.pipeline_modified)
+        registry.source("fabric.pipeline.ecmp", lambda: self.ecmp_decisions)
+        registry.source("fabric.counters.total",
+                        lambda: sum(self.counters.values()))
+        for port in self.ports:
+            registry.source("fabric.port.received",
+                            lambda p=port: p.received)
+            registry.source("fabric.port.forwarded",
+                            lambda p=port: p.forwarded)
+        for table in self.tables:
+            table.register_metrics(registry)

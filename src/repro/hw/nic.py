@@ -27,7 +27,8 @@ from typing import Generator, Optional
 from ..sim import Engine, Store
 from .link import BROADCAST, Frame
 
-__all__ = ["NIC", "DriverProfile", "LanceEthernet", "ForeAtm", "T3Nic"]
+__all__ = ["NIC", "DriverProfile", "LanceEthernet", "ForeAtm", "T3Nic",
+           "FabricNic"]
 
 _nic_counter = itertools.count(1)
 
@@ -302,3 +303,28 @@ class T3Nic(NIC):
 
     def wire_bytes(self, frame_len: int) -> int:
         return frame_len + 4  # light HDLC-style framing
+
+
+class FabricNic(NIC):
+    """Switch-fabric port adapter: 1 Gb/s class, DMA, lean cut-through
+    driver.  Carries raw IP frames (no link header); used for both the
+    edge-host uplinks and the switch ports of ``repro.fabric``
+    topologies."""
+
+    mtu = 9000
+    link_header = 0
+
+    STANDARD = DriverProfile(fixed_tx=4.0, fixed_rx=5.0, rx_latency_us=2.0)
+
+    def __init__(self, engine: Engine, name: str, address: Optional[str] = None,
+                 **kwargs):
+        kwargs.setdefault("tx_queue_len", 256)
+        kwargs.setdefault("rx_ring_len", 256)
+        super().__init__(engine, name, address, profile=self.STANDARD, **kwargs)
+
+    @classmethod
+    def default_profile(cls) -> DriverProfile:
+        return cls.STANDARD
+
+    def wire_bytes(self, frame_len: int) -> int:
+        return frame_len + 8  # preamble + inter-frame gap equivalent

@@ -19,6 +19,7 @@ from ..hw.cpu import ChargeError
 from ..lang.view import VIEW, TypedView, raw_storage
 from ..spin.mbuf import Mbuf
 from .checksum import charged_checksum, internet_checksum
+from .fwdtable import ForwardingTable
 from .headers import IP_HEADER, ip_ntoa
 
 # Whole-header struct accessors (one C call instead of one VIEW access
@@ -76,8 +77,8 @@ class IpProto:
         self.lower = lower  # .mtu, .send(mbuf, next_hop_ip)
         #: set by OS glue: fn(protocol, m, payload_off, src, dst)
         self.upcall: Optional[Callable] = None
-        #: longest-prefix routes: (network, prefix_len, adapter, gateway)
-        self.routes: List[Tuple[int, int, object, Optional[int]]] = []
+        #: longest-prefix routes (shared LPM core, values = (adapter, gw))
+        self.table = ForwardingTable()
         #: dst -> (adapter, next_hop) memo; cleared whenever routes change
         self._route_cache: Dict[int, Tuple[object, int]] = {}
         #: True on routers: packets not for us are forwarded, not dropped
@@ -122,28 +123,29 @@ class IpProto:
         longest-prefix-first; with no match the destination is assumed
         on-link (the single-subnet default of the paper's testbeds).
         """
-        if not 0 <= prefix_len <= 32:
-            raise ValueError("prefix length must be 0..32")
-        self.routes.append((network, prefix_len,
-                            adapter if adapter is not None else self.lower,
-                            gateway))
-        self.routes.sort(key=lambda route: -route[1])
+        self.table.add(network, prefix_len,
+                       (adapter if adapter is not None else self.lower,
+                        gateway))
         self._route_cache.clear()
+
+    @property
+    def routes(self) -> List[Tuple[int, int, object, Optional[int]]]:
+        """Routes as (network, prefix_len, adapter, gateway), match order."""
+        return [(network, prefix_len, adapter, gateway)
+                for network, prefix_len, (adapter, gateway)
+                in self.table.entries()]
 
     def route_for(self, dst: int):
         """(adapter, next_hop) for ``dst``."""
         hit = self._route_cache.get(dst)
         if hit is not None:
             return hit
-        result = None
-        for network, prefix_len, adapter, gateway in self.routes:
-            mask = 0 if prefix_len == 0 else \
-                (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
-            if (dst & mask) == (network & mask):
-                result = adapter, (gateway if gateway is not None else dst)
-                break
-        if result is None:
+        match = self.table.lookup(dst)
+        if match is None:
             result = self.lower, dst
+        else:
+            adapter, gateway = match
+            result = adapter, (gateway if gateway is not None else dst)
         self._route_cache[dst] = result
         return result
 

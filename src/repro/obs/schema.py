@@ -16,6 +16,18 @@ __all__ = ["EXPORT_SCHEMA", "undocumented_metrics"]
 
 #: name -> (type, description).  Keep sorted by name.
 EXPORT_SCHEMA: Dict[str, tuple] = {
+    "fabric.counters.total": ("gauge", "Count-action bumps across switch pipelines"),
+    "fabric.pipeline.dropped": ("gauge", "frames dropped by match-action pipelines (Drop, miss, unparseable)"),
+    "fabric.pipeline.ecmp": ("gauge", "forwarding decisions that hashed an ECMP group"),
+    "fabric.pipeline.forwarded": ("gauge", "frames forwarded by match-action pipelines"),
+    "fabric.pipeline.modified": ("gauge", "Modify actions applied to in-flight frames"),
+    "fabric.pipeline.packets": ("gauge", "frames entering switch match-action pipelines"),
+    "fabric.port.forwarded": ("gauge", "frames egressed per switch port"),
+    "fabric.port.received": ("gauge", "frames accepted per switch port"),
+    "fabric.table.entries": ("gauge", "entries installed across match-action tables"),
+    "fabric.table.hits": ("gauge", "match-action table lookups that hit an entry"),
+    "fabric.table.misses": ("gauge", "match-action table lookups that missed"),
+    "fabric.table.updates": ("gauge", "control-plane set/remove operations on match-action tables"),
     "hw.cpu.busy_us": ("gauge", "consumed CPU time across hosts (simulated us)"),
     "hw.cpu.charged_us": ("gauge", "sum of per-category charged CPU time (simulated us)"),
     "hw.cpu.consumed_slices": ("gauge", "completed cpu.consume() slices"),

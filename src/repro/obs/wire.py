@@ -41,6 +41,9 @@ def instrument_testbed(bed, registry: Optional[MetricsRegistry] = None) -> Metri
                 lambda h=host: h.interrupts_handled,
                 "NIC interrupts taken by the OS models",
             )
+        fabric = getattr(host, "fabric_pipeline", None)
+        if fabric is not None:
+            fabric.register_metrics(registry)
     for stack in getattr(bed, "stacks", ()):
         tcp = getattr(stack, "tcp", None)
         if tcp is not None:
