@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Name the worst-covered modules in the job's step summary.
+
+Reads a coverage.py JSON report and appends a table of the five
+lowest-coverage files to ``$GITHUB_STEP_SUMMARY`` (stdout too, and
+alone when the variable is unset), so a failed coverage gate says
+exactly where the missing lines live without anyone downloading the
+HTML artifact.  Runs before the ``--fail-under`` gate on purpose: the
+summary must exist even when the gate kills the job.
+"""
+
+import json
+import os
+import sys
+
+
+def main(path: str = "coverage.json", count: int = 5) -> None:
+    with open(path) as fh:
+        report = json.load(fh)
+    files = sorted(
+        report["files"].items(),
+        key=lambda item: (item[1]["summary"]["percent_covered"], item[0]),
+    )
+    lines = [
+        "### Worst-covered modules",
+        "",
+        "| module | coverage | missing lines |",
+        "| --- | --- | --- |",
+    ]
+    for name, record in files[:count]:
+        summary = record["summary"]
+        lines.append(
+            "| `%s` | %.1f%% | %d |"
+            % (name, summary["percent_covered"], summary["missing_lines"])
+        )
+    lines += ["", "total: %.2f%% line coverage" % report["totals"]["percent_covered"], ""]
+    text = "\n".join(lines)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as fh:
+            fh.write(text)
+    sys.stdout.write(text)
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:3])

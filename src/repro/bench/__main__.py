@@ -41,6 +41,16 @@ Usage::
                                       # parallel executor is no slower
                                       # than its serial oracle run;
                                       # skips (exit 0) on 1-core hosts
+    python -m repro.bench --latency   # SLO tail-latency suite: open- vs
+                                      # closed-loop legs, decomposition
+                                      # probes and flow-cache rungs;
+                                      # writes BENCH_latency.json and
+                                      # fails on percentile-fingerprint
+                                      # drift vs the committed baseline
+                                      # (--quick is the default matrix;
+                                      #  --full adds loads + mega_flows;
+                                      #  --write-baseline refreshes
+                                      #  benchmarks/latency_baseline.json)
 """
 
 import sys
@@ -260,6 +270,65 @@ def _speedup_smoke(quick: bool) -> int:
     return 0 if ok else 1
 
 
+def _latency(quick: bool, jobs: int = 1, write_baseline_too: bool = False) -> int:
+    from .slo import run_latency_suite, write_baseline, write_report
+    suite = run_latency_suite(quick=quick, jobs=jobs)
+    path = write_report(suite)
+    host = suite.get("host", {})
+    print("host: %s %s on %s %s\n"
+          % (host.get("implementation", "?"), host.get("python", "?"),
+             host.get("machine", "?"), host.get("system", "?")))
+    for name in sorted(suite["legs"]):
+        leg = suite["legs"][name]
+        opened = leg.get("open") or {}
+        line = "%-18s open  p50 %8d ns  p99 %9d ns  p999 %9d ns  (n=%d)" % (
+            name, opened.get("p50_ns", 0), opened.get("p99_ns", 0),
+            opened.get("p999_ns", 0), opened.get("n", 0))
+        print(line)
+        closed = leg.get("closed")
+        if closed:
+            print("%-18s closed p50 %8d ns  p99 %9d ns  p999 %9d ns  "
+                  "tail gap (p99) %+d ns"
+                  % ("", closed["p50_ns"], closed["p99_ns"],
+                     closed["p999_ns"], leg.get("tail_gap_p99_ns", 0)))
+        open_tcp = leg.get("open_tcp")
+        if open_tcp:
+            print("%-18s tcp    p50 %8d ns  p99 %9d ns  p999 %9d ns  (n=%d)"
+                  % ("", open_tcp["p50_ns"], open_tcp["p99_ns"],
+                     open_tcp["p999_ns"], open_tcp["n"]))
+    print()
+    for name in sorted(suite["decomposition"]):
+        probe = suite["decomposition"][name]
+        parts = probe["components_ns"]
+        print("%-14s %s  %s" % (
+            name,
+            "reconciled" if probe["reconciled"] else "NOT RECONCILED",
+            "  ".join("%s %d ns" % (key, parts[key])
+                      for key in ("cpu_service", "nic_ring", "propagation",
+                                  "stall"))))
+    rungs = suite["rungs"]
+    print("\nflow-cache rungs on %s: %s"
+          % (rungs["leg"],
+             "identical across current/prechange/uncached" if rungs["ok"]
+             else "DIVERGED %r" % rungs["fingerprints"]))
+    failed = False
+    for name in sorted(suite.get("comparison", {})):
+        row = suite["comparison"][name]
+        for warning in row.get("warnings", ()):
+            print("WARN [%s]: %s" % (name, warning))
+        for error in row.get("errors", ()):
+            print("ERROR [%s]: %s" % (name, error))
+        if not row.get("ok", True):
+            failed = True
+    if write_baseline_too:
+        print("baseline written to %s" % write_baseline(suite))
+    print("\nreport written to %s" % path)
+    # Fails on percentile-fingerprint drift, decomposition drift, any
+    # unreconciled probe, and rung divergence; wall-clock drift and
+    # missing baselines only warn (the honest-gate split of PR 6).
+    return 1 if failed else 0
+
+
 def _charts() -> str:
     from . import forwarding, latency, video
     from .figures import render_figure5, render_figure6, render_figure7
@@ -279,6 +348,9 @@ def main(argv) -> int:
     if "--charts" in argv:
         print(_charts())
         return 0
+    if "--latency" in argv:
+        return _latency(quick="--full" not in argv, jobs=jobs,
+                        write_baseline_too="--write-baseline" in argv)
     if "--parallel-curve" in argv:
         return _parallel_curve(quick="--full" not in argv)
     if "--round-overhead" in argv:

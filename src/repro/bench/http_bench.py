@@ -17,7 +17,8 @@ from typing import Dict, List
 
 from ..apps.httpd import SpinHttpClient, SpinHttpServer, UnixHttpServer, unix_http_get
 from ..hw.alpha import ALPHA_21064
-from .stats import Summary, summarize
+from ..obs.slo import RequestLifecycle
+from .stats import Summary
 from .testbed import build_testbed
 
 __all__ = ["measure_spin_http", "measure_unix_http", "http_comparison",
@@ -34,13 +35,13 @@ def measure_spin_http(path: str = "/", requests: int = 10) -> Summary:
     SpinHttpServer(bed.stacks[1], _PAGES, port=_PORT)
     client = SpinHttpClient(bed.stacks[0], bed.ip(1), port=_PORT)
     engine.run_process(client.fetch(path))  # connect + warm
-    samples: List[float] = []
+    lifecycle = RequestLifecycle(engine)
     for _ in range(requests):
-        start = engine.now
+        request = lifecycle.begin("http_page")
         status, _body = engine.run_process(client.fetch(path))
         assert status == 200
-        samples.append(engine.now - start)
-    return summarize(samples)
+        lifecycle.end(request)
+    return lifecycle.summary("http_page")
 
 
 def measure_unix_http(path: str = "/", requests: int = 10) -> Summary:
@@ -49,14 +50,14 @@ def measure_unix_http(path: str = "/", requests: int = 10) -> Summary:
     bed = build_testbed("unix", "ethernet")
     engine = bed.engine
     UnixHttpServer(bed.sockets[1], _PAGES, port=_PORT)
-    samples: List[float] = []
+    lifecycle = RequestLifecycle(engine)
     for _ in range(requests):
-        start = engine.now
+        request = lifecycle.begin("http_page")
         status, _body = engine.run_process(
             unix_http_get(bed.sockets[0], bed.ip(1), path, port=_PORT))
         assert status == 200
-        samples.append(engine.now - start)
-    return summarize(samples)
+        lifecycle.end(request)
+    return lifecycle.summary("http_page")
 
 
 def http_comparison(requests: int = 10) -> List[Dict]:

@@ -14,6 +14,16 @@ Four measurement functions, one per bar family:
 * :func:`measure_unix_udp_rtt` -- the DIGITAL UNIX bar,
 * :func:`measure_raw_rtt` -- the driver-to-driver floor,
 * :func:`figure5` -- the whole figure as a list of rows.
+
+Every measurement routes its trips through a
+:class:`~repro.obs.slo.RequestLifecycle` instead of a hand-kept sample
+list, so Figure 5 and the SLO harness (``python -m repro.bench
+--latency``) share one begin/end path and one percentile
+implementation.  The lifecycle computes each latency with the exact
+float arithmetic the sample lists used (``engine.now - begin``), so
+every historical mean -- including the golden numbers in
+``repro.bench.regression`` -- is bit-identical; ``tests/test_slo.py``
+asserts this against an inline old-style collection.
 """
 
 from __future__ import annotations
@@ -22,8 +32,9 @@ from typing import Dict, List
 
 from ..lang.ephemeral import ephemeral
 from ..core.manager import Credential
+from ..obs.slo import RequestLifecycle
 from ..sim import Signal
-from .stats import Summary, summarize
+from .stats import Summary
 from .testbed import build_raw_pair, build_testbed
 
 __all__ = [
@@ -80,20 +91,20 @@ def measure_plexus_udp_rtt(device: str, deliver_mode: str = "interrupt",
         Credential("ping"), _PING_PORT, client_handler, mode=handler_mode,
         checksum=checksum)
 
-    samples: List[float] = []
+    lifecycle = RequestLifecycle(engine)
     payload = bytes(payload_len)
 
     def ping_loop():
         for _ in range(trips):
-            start = engine.now
+            request = lifecycle.begin("udp_rtt")
             waiter = reply_seen.wait()
             yield from client_host.kernel_path(
                 lambda: client_ep.send(payload, bed.ip(1), _PONG_PORT))
             yield waiter
-            samples.append(engine.now - start)
+            lifecycle.end(request)
 
     engine.run_process(ping_loop(), name="ping")
-    return summarize(samples)
+    return lifecycle.summary("udp_rtt")
 
 
 def measure_unix_udp_rtt(device: str, fast_driver: bool = False,
@@ -103,7 +114,7 @@ def measure_unix_udp_rtt(device: str, fast_driver: bool = False,
     bed = build_testbed("unix", device, fast_driver=fast_driver)
     engine = bed.engine
     client_sockets, server_sockets = bed.sockets
-    samples: List[float] = []
+    lifecycle = RequestLifecycle(engine)
     payload = bytes(payload_len)
 
     def server_proc():
@@ -117,15 +128,15 @@ def measure_unix_udp_rtt(device: str, fast_driver: bool = False,
         sock = client_sockets.udp_socket()
         yield from sock.bind(_PING_PORT)
         for _ in range(trips):
-            start = engine.now
+            request = lifecycle.begin("udp_rtt")
             yield from sock.sendto(payload, (bed.ip(1), _PONG_PORT),
                                    checksum=checksum)
             yield from sock.recvfrom()
-            samples.append(engine.now - start)
+            lifecycle.end(request)
 
     engine.process(server_proc(), name="udp-server")
     engine.run_process(client_proc(), name="udp-client")
-    return summarize(samples)
+    return lifecycle.summary("udp_rtt")
 
 
 def measure_raw_rtt(device: str, fast_driver: bool = False, trips: int = 20,
@@ -135,20 +146,20 @@ def measure_raw_rtt(device: str, fast_driver: bool = False, trips: int = 20,
         device, fast_driver=fast_driver)
     reply_seen = Signal(engine)
     initiator.on_frame = lambda data: initiator.defer(reply_seen.fire)
-    samples: List[float] = []
+    lifecycle = RequestLifecycle(engine)
     frame = bytes(frame_len)
 
     def ping_loop():
         for _ in range(trips):
-            start = engine.now
+            request = lifecycle.begin("raw_rtt")
             waiter = reply_seen.wait()
             yield from initiator.kernel_path(
                 lambda: nic_a.stage_tx(frame, nic_b.address))
             yield waiter
-            samples.append(engine.now - start)
+            lifecycle.end(request)
 
     engine.run_process(ping_loop(), name="raw-ping")
-    return summarize(samples)
+    return lifecycle.summary("raw_rtt")
 
 
 def figure5(trips: int = 20, devices=("ethernet", "atm", "t3")) -> List[Dict]:

@@ -5,11 +5,20 @@ from __future__ import annotations
 import math
 from typing import List, Sequence
 
+from ..obs.slo import percentile
+
 __all__ = ["Summary", "summarize"]
 
 
 class Summary:
-    """Mean/min/max/stdev of a series of samples."""
+    """Mean/min/max/stdev/percentiles of a series of samples.
+
+    Percentiles come from the one nearest-rank implementation every
+    harness shares (:func:`repro.obs.slo.percentile`), so Figure 5 and
+    the SLO harness can never disagree on what p99 means.  ``mean`` and
+    friends are computed exactly as they always were, so existing golden
+    numbers are untouched.
+    """
 
     def __init__(self, samples: Sequence[float]):
         if not samples:
@@ -24,10 +33,14 @@ class Summary:
             self.stdev = math.sqrt(variance)
         else:
             self.stdev = 0.0
+        ordered = sorted(self.samples)
+        self.p50 = percentile(ordered, 0.50)
+        self.p99 = percentile(ordered, 0.99)
+        self.p999 = percentile(ordered, 0.999)
 
     def __repr__(self) -> str:
-        return "Summary(mean=%.1f min=%.1f max=%.1f n=%d)" % (
-            self.mean, self.minimum, self.maximum, self.n)
+        return "Summary(mean=%.1f p50=%.1f p99=%.1f min=%.1f max=%.1f n=%d)" % (
+            self.mean, self.p50, self.p99, self.minimum, self.maximum, self.n)
 
 
 def summarize(samples: Sequence[float]) -> Summary:

@@ -533,7 +533,7 @@ def _mega_client_hosts(scale: int) -> int:
     return max(1, -(-scale // _MEGA_FLOWS_PER_HOST))
 
 
-def _mega_flows_setup(bed, scale: int):
+def _mega_flows_setup(bed, scale: int, lifecycle=None):
     """Wire the mega-flows scenario onto a built bed.
 
     The memory-pressure sibling of :func:`_many_flows_setup`: ``scale``
@@ -545,6 +545,11 @@ def _mega_flows_setup(bed, scale: int):
     steady-state cost and not an artifact of flows retiring early.
     Returns ``(state, main_factory)`` like its sibling; shared by the
     classic workload and the partitioned shards.
+
+    ``lifecycle`` (a :class:`repro.obs.slo.RequestLifecycle`) is the SLO
+    harness's hook: each client flow becomes one request, begun at its
+    open-loop departure and ended at completion.  Lifecycles only read
+    ``engine.now``, so the workload fingerprint is identical either way.
     """
     from ..sim import Signal
     from ..unixos.sockets import Poller
@@ -581,6 +586,7 @@ def _mega_flows_setup(bed, scale: int):
 
     def tcp_client(index: int, sockets):
         yield engine.pooled_timeout(index * stagger_us)
+        request = None if lifecycle is None else lifecycle.begin("mega_tcp")
         sock = sockets.tcp_socket()
         yield from sock.connect((server_ip, tcp_port))
         received = 0
@@ -590,17 +596,22 @@ def _mega_flows_setup(bed, scale: int):
                 break
             received += len(data)
         yield from sock.close()
+        if request is not None:
+            lifecycle.end(request)
         state["tcp_done"] += 1
         state["bytes_in"] += received
         client_finished()
 
     def udp_client(index: int, sockets):
         yield engine.pooled_timeout(index * stagger_us)
+        request = None if lifecycle is None else lifecycle.begin("mega_udp")
         sock = sockets.udp_socket()
         yield from sock.bind()
         yield from sock.sendto(udp_request, (server_ip, udp_port))
         data, _addr = yield from sock.recvfrom()
         sock.close()
+        if request is not None:
+            lifecycle.end(request)
         state["udp_done"] += 1
         state["bytes_in"] += len(data)
         client_finished()
@@ -728,7 +739,7 @@ _FABRIC_RX_PORT = 9000
 _FABRIC_TX_PORT = 9001
 
 
-def _fabric_fat_tree_setup(bed, scale: int):
+def _fabric_fat_tree_setup(bed, scale: int, lifecycle=None):
     """Wire the open-loop fabric scenario onto a built fat-tree bed.
 
     Every edge host streams ``scale`` UDP datagrams to its image in the
@@ -740,6 +751,14 @@ def _fabric_fat_tree_setup(bed, scale: int):
     matrix is a pure function of (k, hosts_per_edge, scale).  Returns
     ``(state, main_factory)`` like the other setup helpers; shared by
     the classic workload and the partitioned shards.
+
+    With ``lifecycle`` (a :class:`repro.obs.slo.RequestLifecycle`) each
+    datagram becomes one request, begun at its open-loop departure and
+    ended when the far edge delivers it.  Matching an end to its begin
+    needs a (sender, sequence) tag on the wire, so the payload prefix
+    widens from 4 to 8 bytes in that mode -- the lifecycle leg of the
+    SLO harness carries its own fingerprint and never shares one with
+    the plain workload, which keeps the 4-byte format bit-for-bit.
     """
     from ..core.manager import Credential
     from ..fabric.traffic import OpenLoopSource
@@ -762,13 +781,30 @@ def _fabric_fat_tree_setup(bed, scale: int):
     state = {"sent": 0, "received": 0, "bytes": 0}
     expected = scale * len(bed.host_locator)
     all_done = Signal(engine)
+    pending = {}            # (gid, seq) -> open Request, lifecycle mode only
 
-    @ephemeral
-    def receive(m, off, src_ip, src_port, dst_ip, dst_port):
-        state["received"] += 1
-        state["bytes"] += len(m.to_bytes()) - off
-        if state["received"] == expected:
-            all_done.fire()
+    if lifecycle is None:
+        @ephemeral
+        def receive(m, off, src_ip, src_port, dst_ip, dst_port):
+            state["received"] += 1
+            state["bytes"] += len(m.to_bytes()) - off
+            if state["received"] == expected:
+                all_done.fire()
+    else:
+        @ephemeral
+        def receive(m, off, src_ip, src_port, dst_ip, dst_port):
+            data = bytes(m.to_bytes()[off:])
+            state["received"] += 1
+            state["bytes"] += len(data)
+            # int.from_bytes is not on the ephemeral safe list; shift
+            # arithmetic on indexed bytes says the same thing.
+            key = ((data[0] << 24) | (data[1] << 16) | (data[2] << 8) | data[3],
+                   (data[4] << 24) | (data[5] << 16) | (data[6] << 8) | data[7])
+            request = pending.pop(key, None)
+            if request is not None:
+                lifecycle.end(request)
+            if state["received"] == expected:
+                all_done.fire()
 
     senders = []
     for index, (p, e, s) in enumerate(bed.host_locator):
@@ -786,21 +822,26 @@ def _fabric_fat_tree_setup(bed, scale: int):
             size_dist="fixed" if gid % 2 == 0 else "pareto",
             fixed_size=256, min_size=32, max_size=1400)
         dst_ip = ip_aton("10.%d.%d.%d" % ((p + half) % k, e, s + 2))
-        senders.append((index, endpoint, dst_ip, source.schedule(scale)))
+        senders.append((index, gid, endpoint, dst_ip, source.schedule(scale)))
 
-    def sender_loop(index, endpoint, dst_ip, plan):
+    def sender_loop(index, gid, endpoint, dst_ip, plan):
         host = bed.hosts[index]
         for seq, (gap_us, size) in enumerate(plan):
             yield engine.pooled_timeout(gap_us)
-            payload = seq.to_bytes(4, "big") + bytes(size - 4)
+            if lifecycle is None:
+                payload = seq.to_bytes(4, "big") + bytes(size - 4)
+            else:
+                payload = (gid.to_bytes(4, "big") + seq.to_bytes(4, "big")
+                           + bytes(size - 8))
+                pending[(gid, seq)] = lifecycle.begin("fabric_dgram")
             yield from host.kernel_path(
                 lambda data=payload: endpoint.send(data, dst_ip,
                                                    _FABRIC_RX_PORT))
             state["sent"] += 1
 
     def main():
-        for index, endpoint, dst_ip, plan in senders:
-            engine.process(sender_loop(index, endpoint, dst_ip, plan),
+        for index, gid, endpoint, dst_ip, plan in senders:
+            engine.process(sender_loop(index, gid, endpoint, dst_ip, plan),
                            name="fabric-src-%d" % index)
         yield all_done.wait()
 

@@ -212,6 +212,29 @@ def _timer_wheel_empty(ctx) -> List[str]:
     return problems
 
 
+@invariant("slo_reconciliation")
+def _slo_reconciliation(ctx) -> List[str]:
+    """Every completed request's latency decomposition sums bit-exactly
+    to its end-to-end latency, and nothing completed in negative time.
+    Workloads that attach no lifecycle trivially satisfy this."""
+    lifecycle = getattr(ctx.state, "lifecycle", None)
+    if lifecycle is None:
+        return []
+    problems = []
+    for request in lifecycle.completed:
+        if request.total_ns < 0:
+            problems.append("%r completed in negative simulated time"
+                            % (request,))
+        if request.component_sum_ns() != request.total_ns:
+            problems.append(
+                "%r decomposition sums to %d ns, end-to-end is %d ns"
+                % (request, request.component_sum_ns(), request.total_ns))
+    if lifecycle.open_requests < 0:
+        problems.append("lifecycle ended %d more requests than it began"
+                        % -lifecycle.open_requests)
+    return problems
+
+
 @invariant("flow_cache_coherence")
 def _flow_cache_coherence(ctx) -> List[str]:
     """The compiled-path fingerprint matches the linear-scan oracle.

@@ -77,6 +77,11 @@ class WorkloadState:
         self.flows: List[Flow] = []
         self.tcbs: List[Tcb] = []
         self.errors: List[str] = []
+        #: optional :class:`repro.obs.slo.RequestLifecycle`: workloads
+        #: that set one tag each datagram begin/end so the
+        #: ``slo_reconciliation`` invariant can audit the accounting.
+        #: It only reads ``engine.now``, so fingerprints are unchanged.
+        self.lifecycle = None
 
     def stream_flows(self) -> List[Flow]:
         return [f for f in self.flows if f.kind == "stream"]
@@ -148,6 +153,8 @@ def _start_udp_echo_spin(bed, state: WorkloadState, name: str, src: int,
     flow = Flow(name, "datagram")
     state.flows.append(flow)
     engine = bed.engine
+    lifecycle = state.lifecycle
+    pending: Dict[bytes, object] = {}
     echo_port = UDP_PORT_BASE + 2 * port_offset
     client_port = UDP_PORT_BASE + 2 * port_offset + 1
     server_ep = None
@@ -158,7 +165,12 @@ def _start_udp_echo_spin(bed, state: WorkloadState, name: str, src: int,
 
     @ephemeral
     def client_handler(m, off, src_ip, src_port, dst_ip, dst_port):
-        flow.echoes.append(bytes(m.to_bytes()[off:]))
+        payload = bytes(m.to_bytes()[off:])
+        flow.echoes.append(payload)
+        # Duplicated echoes pop None; loss leaves the request open.
+        request = pending.pop(payload, None)
+        if request is not None:
+            lifecycle.end(request)
 
     server_ep = bed.stacks[dst].udp_manager.bind(
         Credential("chaos-echo-%s" % name), echo_port, echo_handler)
@@ -170,6 +182,8 @@ def _start_udp_echo_spin(bed, state: WorkloadState, name: str, src: int,
             yield engine.pooled_timeout(start_us)
         for seq in range(count):
             datagram = _udp_datagram(name, seq)
+            if lifecycle is not None:
+                pending[datagram] = lifecycle.begin("chaos_udp", (name, seq))
             yield from bed.hosts[src].kernel_path(
                 lambda d=datagram: client_ep.send(d, bed.ip(dst), echo_port))
             flow.datagrams_sent += 1
@@ -185,6 +199,8 @@ def _start_udp_echo_unix(bed, state: WorkloadState, name: str, src: int,
     flow = Flow(name, "datagram")
     state.flows.append(flow)
     engine = bed.engine
+    lifecycle = state.lifecycle
+    pending: Dict[bytes, object] = {}
     echo_port = UDP_PORT_BASE + 2 * port_offset
     client_port = UDP_PORT_BASE + 2 * port_offset + 1
 
@@ -200,7 +216,11 @@ def _start_udp_echo_unix(bed, state: WorkloadState, name: str, src: int,
     def client_rx_loop() -> Generator:
         while True:
             data, _addr = yield from client_sock.recvfrom()
-            flow.echoes.append(bytes(data))
+            payload = bytes(data)
+            flow.echoes.append(payload)
+            request = pending.pop(payload, None)
+            if request is not None:
+                lifecycle.end(request)
 
     def client_tx_loop() -> Generator:
         yield from client_sock.bind(client_port)
@@ -208,7 +228,10 @@ def _start_udp_echo_unix(bed, state: WorkloadState, name: str, src: int,
             yield engine.pooled_timeout(start_us)
         engine.process(client_rx_loop(), name="chaos-%s-rx" % name)
         for seq in range(count):
-            yield from client_sock.sendto(_udp_datagram(name, seq),
+            datagram = _udp_datagram(name, seq)
+            if lifecycle is not None:
+                pending[datagram] = lifecycle.begin("chaos_udp", (name, seq))
+            yield from client_sock.sendto(datagram,
                                           (bed.ip(dst), echo_port))
             flow.datagrams_sent += 1
             yield engine.pooled_timeout(UDP_PACE_US)
@@ -252,7 +275,10 @@ def tcp_bulk(bed, spec) -> WorkloadState:
 
 def udp_echo(bed, spec) -> WorkloadState:
     """``spec.scale`` paced echo round trips on one UDP conversation."""
+    from ..obs.slo import RequestLifecycle
+
     state = WorkloadState()
+    state.lifecycle = RequestLifecycle(bed.engine)
     _start_udp_echo(bed, state, "udp0", 0, 1, 0, spec.scale)
     return state
 

@@ -403,7 +403,12 @@ class Tcb:
         seq = seg.seq
         if seq_lt(seq, self.rcv_nxt):
             trim = seq_sub(self.rcv_nxt, seq)
-            if trim >= len(payload) and not (seg.flags & (SYN | FIN)):
+            # A SYN consumes one sequence slot, so a retransmitted SYN|ACK
+            # (handshake ACK lost in transit) is "entirely old" once that
+            # slot is covered and must be re-ACKed, or the passive side
+            # stays wedged in SYN_RCVD.
+            old_span = len(payload) + (1 if seg.flags & SYN else 0)
+            if trim >= old_span and not (seg.flags & FIN):
                 # Entirely old: re-ACK (it may be a keepalive probe or a
                 # duplicate) so the sender learns we are alive and caught up.
                 self._send_ack()

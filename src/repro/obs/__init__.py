@@ -32,6 +32,7 @@ from .registry import (
     merge_snapshots,
 )
 from .schema import EXPORT_SCHEMA, undocumented_metrics
+from .slo import Request, RequestLifecycle, SloTracker, percentile, to_ns
 from .spans import Span, SpanTracer
 from .wire import instrument_testbed
 
@@ -45,11 +46,16 @@ __all__ = [
     "Histogram",
     "MetricError",
     "MetricsRegistry",
+    "Request",
+    "RequestLifecycle",
+    "SloTracker",
     "Span",
     "SpanTracer",
     "install_hook",
     "instrument_testbed",
     "merge_snapshots",
+    "percentile",
+    "to_ns",
     "undocumented_metrics",
     "uninstall_hook",
 ]

@@ -21,6 +21,7 @@ round-trips exactly through ``json.loads``.
 from __future__ import annotations
 
 import json
+import math
 import re
 from bisect import bisect_right
 from typing import Callable, Dict, List, Optional, Sequence
@@ -137,6 +138,29 @@ class Histogram:
         self.counts[bisect_right(self.bounds, value)] += 1
         self.count += 1
         self.total += value
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile as a bucket upper edge.
+
+        The same rank rule :func:`repro.obs.slo.percentile` applies to
+        raw samples, resolved at bucket granularity: the upper bound of
+        the bucket holding the ranked observation (``inf`` when it falls
+        in the overflow bucket).  Deterministic for any observation
+        order, since only the counts matter.
+        """
+        if self.count <= 0:
+            raise MetricError("histogram %s has no observations" % self.name)
+        if not 0.0 < q <= 1.0:
+            raise MetricError("percentile q must be in (0, 1], got %r" % (q,))
+        rank = max(0, math.ceil(q * self.count) - 1)
+        seen = 0
+        for index, bucket in enumerate(self.counts):
+            seen += bucket
+            if rank < seen:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                return float("inf")
+        return float("inf")
 
     def read(self):
         return {

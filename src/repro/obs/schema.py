@@ -65,6 +65,18 @@ EXPORT_SCHEMA: Dict[str, tuple] = {
     "sim.wheel.occupied": ("gauge", "handles physically in wheel buckets (incl. cancelled)"),
     "sim.wheel.pending": ("gauge", "live (non-cancelled) parked deadlines"),
     "sim.wheel.scheduled": ("gauge", "deadlines ever parked on the wheel"),
+    "slo.component.cpu_service_ns": ("gauge", "request latency attributed to CPU service (simulated ns)"),
+    "slo.component.nic_ring_ns": ("gauge", "request latency attributed to NIC-ring wait (simulated ns)"),
+    "slo.component.propagation_ns": ("gauge", "request latency attributed to wire propagation (simulated ns)"),
+    "slo.component.stall_ns": ("gauge", "request latency attributed to (retransmit) stall (simulated ns)"),
+    "slo.component.unattributed_ns": ("gauge", "request latency with no tracker attached (simulated ns)"),
+    "slo.latency.p50_ns": ("gauge", "median end-to-end request latency (simulated ns)"),
+    "slo.latency.p99_ns": ("gauge", "p99 end-to-end request latency (simulated ns)"),
+    "slo.latency.p999_ns": ("gauge", "p999 end-to-end request latency (simulated ns)"),
+    "slo.latency.sum_ns": ("gauge", "summed end-to-end request latency (simulated ns)"),
+    "slo.latency.us": ("histogram", "end-to-end request latency (simulated us)"),
+    "slo.requests.completed": ("gauge", "requests begun and ended through the lifecycle layer"),
+    "slo.requests.open": ("gauge", "requests begun but not yet ended"),
     "spin.dispatcher.events": ("gauge", "declared event names"),
     "spin.dispatcher.raises": ("gauge", "event raises (linear or compiled)"),
     "spin.dispatcher.invocations": ("gauge", "handler invocations"),

@@ -1,0 +1,477 @@
+"""Per-request latency accounting: the SLO layer over simulated time.
+
+The paper's benchmarks (and :mod:`repro.bench.latency`) report *mean*
+round-trip latency; the ROADMAP's "heavy traffic from millions of users"
+north star is a tail-latency story.  This module adds the request
+lifecycle machinery both views share:
+
+* :func:`percentile` -- the one nearest-rank percentile implementation
+  used everywhere (Figure 5 summaries, SLO fingerprints, registry
+  histograms), so p50/p99/p999 can never disagree between harnesses.
+* :class:`RequestLifecycle` -- begin/end hooks stamped with simulated
+  time.  Latency is kept twice, deliberately: as the float microsecond
+  difference ``engine.now - begin_us`` (bit-identical to the historical
+  ``samples.append(engine.now - start)`` arithmetic, so Figure 5 means
+  are unchanged), and as integer simulated *nanoseconds*
+  (:func:`to_ns`), which is what fingerprints and the reconciliation
+  guarantee are stated in -- integer waypoint differences telescope
+  exactly, float interval sums do not.
+* :class:`SloTracker` -- queueing-delay attribution.  It observes the
+  same :class:`~repro.obs.profiler.CpuHook` frames the profiler and
+  :class:`~repro.obs.spans.SpanTracer` use (and taps NICs the same way),
+  and decomposes one outstanding request's latency into CPU service,
+  NIC-ring wait, propagation, and (retransmit) stall.  Every interval
+  between consecutive waypoints is attributed to exactly one component,
+  so the component sum equals the end-to-end latency bit-exactly in
+  integer nanoseconds -- the invariant ``tests/test_slo.py`` enforces
+  across all three flow-cache rungs.
+
+Attribution convention: the cost-charging discipline runs kernel code
+synchronously (push/pop at one instant) and then *holds* the CPU for the
+charged amount, reporting it through ``on_consume`` at the hold's end --
+so the trailing ``amount`` of the interval ending at each consume is
+``cpu_service``.  The remainder of each interval goes to the prevailing
+wire state: a received frame waiting for its interrupt is ``nic_ring``;
+a transmitted frame still unreceived is ``propagation`` up to
+``propagation_bound_us`` past the last transmit and ``stall`` beyond
+(the frame was lost; the wire cannot still be carrying it); anything
+else -- retransmit timers, CPU-queue waits -- is ``stall``.  The
+decomposition is a deterministic account, exact in total; the
+per-component split is a documented convention, not a claim about
+simultaneity.
+
+Attaching a lifecycle or tracker never perturbs simulated time: both
+only *read* ``engine.now`` (the fingerprint-equality tests enforce
+this, as they do for the profiler and span tracer).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from .profiler import CpuHook, install_hook, uninstall_hook
+
+__all__ = [
+    "ATTRIBUTED_COMPONENTS",
+    "COMPONENTS",
+    "LATENCY_BOUNDS_US",
+    "Request",
+    "RequestLifecycle",
+    "SloTracker",
+    "percentile",
+    "to_ns",
+]
+
+#: The components :class:`SloTracker` attributes intervals to.
+ATTRIBUTED_COMPONENTS = ("cpu_service", "nic_ring", "propagation", "stall")
+
+#: All legal component keys: a lifecycle without a tracker books the
+#: whole latency under ``unattributed`` so reconciliation still holds.
+COMPONENTS = ATTRIBUTED_COMPONENTS + ("unattributed",)
+
+#: Bucket upper edges (microseconds) for the ``slo.latency.us``
+#: histogram: roughly log-spaced from sub-RTT to multi-second stalls.
+LATENCY_BOUNDS_US = (
+    50.0,
+    100.0,
+    200.0,
+    400.0,
+    800.0,
+    1600.0,
+    3200.0,
+    6400.0,
+    12800.0,
+    25600.0,
+    51200.0,
+    102400.0,
+    409600.0,
+    1638400.0,
+)
+
+
+def to_ns(time_us: float) -> int:
+    """A simulated-time float (microseconds) as integer nanoseconds.
+
+    The same quantization the profiler's folded output uses
+    (``round(us * 1000.0)``).  Integer waypoint timestamps are what make
+    the decomposition telescope: component values are differences of
+    consecutive ``to_ns`` waypoints, so their sum is exactly
+    ``to_ns(end) - to_ns(begin)`` with no float accumulation error.
+    """
+    return round(time_us * 1000.0)
+
+
+def percentile(ordered: Sequence, q: float):
+    """Nearest-rank percentile of an ascending-sorted sequence.
+
+    ``percentile(s, 0.5)`` is the smallest element with at least half
+    the mass at or below it: ``s[ceil(q * n) - 1]``.  Works on floats
+    and ints alike (fingerprints feed integer nanoseconds) and always
+    returns an element of the input, never an interpolation -- which is
+    what keeps percentile fingerprints bit-deterministic.
+    """
+    if not ordered:
+        raise ValueError("cannot take a percentile of zero samples")
+    if not 0.0 < q <= 1.0:
+        raise ValueError("percentile q must be in (0, 1], got %r" % (q,))
+    return ordered[max(0, math.ceil(q * len(ordered)) - 1)]
+
+
+class Request:
+    """One request's lifetime: begin/end stamps plus the decomposition."""
+
+    __slots__ = (
+        "kind",
+        "seq",
+        "begin_us",
+        "begin_ns",
+        "end_us",
+        "end_ns",
+        "latency_us",
+        "total_ns",
+        "components",
+    )
+
+    def __init__(self, kind: str, seq, begin_us: float):
+        self.kind = kind
+        self.seq = seq
+        self.begin_us = begin_us
+        self.begin_ns = to_ns(begin_us)
+        self.end_us: Optional[float] = None
+        self.end_ns: Optional[int] = None
+        self.latency_us: Optional[float] = None
+        self.total_ns: Optional[int] = None
+        self.components: Dict[str, int] = {}
+
+    @property
+    def done(self) -> bool:
+        return self.end_ns is not None
+
+    def component_sum_ns(self) -> int:
+        """The decomposition total; equals ``total_ns`` once ended."""
+        return sum(self.components.values())
+
+    def __repr__(self) -> str:
+        if not self.done:
+            return "<Request %s seq=%r open since %.1f>" % (self.kind, self.seq, self.begin_us)
+        return "<Request %s seq=%r %d ns %r>" % (
+            self.kind,
+            self.seq,
+            self.total_ns,
+            self.components,
+        )
+
+
+class RequestLifecycle:
+    """Begin/end bookkeeping for every request a workload serves.
+
+    One lifecycle per testbed.  ``begin`` stamps ``engine.now``; ``end``
+    computes the latency with the exact float arithmetic the historical
+    sample lists used (``engine.now - begin_us``) plus the integer-ns
+    total the fingerprints and the reconciliation guarantee are stated
+    in.  With a :class:`SloTracker` attached, ending a request closes
+    its decomposition; without one, the whole latency is booked as
+    ``unattributed`` so component sums always reconcile.
+    """
+
+    def __init__(self, engine, tracker: Optional["SloTracker"] = None):
+        self.engine = engine
+        self.tracker = tracker
+        self.completed: List[Request] = []
+        self.open_requests = 0
+        self._histogram = None
+
+    # -- request lifetime ------------------------------------------------
+
+    def begin(self, kind: str, seq=None) -> Request:
+        request = Request(kind, seq, self.engine.now)
+        self.open_requests += 1
+        if self.tracker is not None:
+            self.tracker.open_request(request)
+        return request
+
+    def end(self, request: Request) -> Request:
+        if request.done:
+            raise ValueError("request %r ended twice" % (request,))
+        now = self.engine.now
+        request.end_us = now
+        request.latency_us = now - request.begin_us
+        request.end_ns = to_ns(now)
+        request.total_ns = request.end_ns - request.begin_ns
+        if self.tracker is not None:
+            self.tracker.close_request(request)
+        else:
+            request.components = {"unattributed": request.total_ns}
+        self.open_requests -= 1
+        self.completed.append(request)
+        if self._histogram is not None:
+            self._histogram.observe(request.latency_us)
+        return request
+
+    # -- readouts --------------------------------------------------------
+
+    def kinds(self) -> List[str]:
+        seen = []
+        for request in self.completed:
+            if request.kind not in seen:
+                seen.append(request.kind)
+        return sorted(seen)
+
+    def samples_us(self, kind: Optional[str] = None) -> List[float]:
+        """Completion-order float latencies, exactly as a hand-kept
+        ``samples.append(engine.now - start)`` list would read."""
+        return [r.latency_us for r in self.completed if kind is None or r.kind == kind]
+
+    def samples_ns(self, kind: Optional[str] = None) -> List[int]:
+        return [r.total_ns for r in self.completed if kind is None or r.kind == kind]
+
+    def summary(self, kind: Optional[str] = None):
+        """The :class:`repro.bench.stats.Summary` of the float samples."""
+        from ..bench.stats import summarize
+
+        return summarize(self.samples_us(kind))
+
+    def percentiles_ns(self, kind: Optional[str] = None) -> Dict[str, int]:
+        """The integer-ns percentile record fingerprints are built from."""
+        ordered = sorted(self.samples_ns(kind))
+        return {
+            "n": len(ordered),
+            "p50_ns": percentile(ordered, 0.50),
+            "p99_ns": percentile(ordered, 0.99),
+            "p999_ns": percentile(ordered, 0.999),
+            "max_ns": ordered[-1],
+            "sum_ns": sum(ordered),
+        }
+
+    def fingerprint(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind percentile records: pure simulated-time integers."""
+        return {kind: self.percentiles_ns(kind) for kind in self.kinds()}
+
+    def component_totals_ns(self, kind: Optional[str] = None) -> Dict[str, int]:
+        totals = {name: 0 for name in COMPONENTS}
+        for request in self.completed:
+            if kind is None or request.kind == kind:
+                for name, value in request.components.items():
+                    totals[name] += value
+        return totals
+
+    # -- registry export -------------------------------------------------
+
+    def register_metrics(self, registry) -> None:
+        """Export the ``slo.*`` namespace into a metrics registry.
+
+        Gauges are aggregating sources (read-time callbacks, zero cost
+        on the hot path); the ``slo.latency.us`` histogram is back-filled
+        by replaying every already-completed sample and then observes
+        live ends.
+        """
+
+        def total(name: str):
+            return lambda: self.component_totals_ns()[name]
+
+        def quantile(q: float):
+            def read():
+                ordered = sorted(self.samples_ns())
+                return percentile(ordered, q) if ordered else 0
+
+            return read
+
+        registry.source(
+            "slo.requests.completed", lambda: len(self.completed), "requests begun and ended"
+        )
+        registry.source("slo.requests.open", lambda: self.open_requests, "requests still open")
+        registry.source(
+            "slo.latency.sum_ns",
+            lambda: sum(self.samples_ns()),
+            "summed end-to-end latency (simulated ns)",
+        )
+        registry.source("slo.latency.p50_ns", quantile(0.50), "p50 latency (simulated ns)")
+        registry.source("slo.latency.p99_ns", quantile(0.99), "p99 latency (simulated ns)")
+        registry.source("slo.latency.p999_ns", quantile(0.999), "p999 latency (simulated ns)")
+        for name in COMPONENTS:
+            registry.source(
+                "slo.component.%s_ns" % name,
+                total(name),
+                "latency attributed to %s (simulated ns)" % name,
+            )
+        histogram = registry.get("slo.latency.us")
+        if histogram is None:
+            histogram = registry.histogram(
+                "slo.latency.us", LATENCY_BOUNDS_US, "end-to-end request latency (simulated us)"
+            )
+        for sample in self.samples_us():
+            histogram.observe(sample)
+        self._histogram = histogram
+
+
+class SloTracker:
+    """Queueing-delay attribution for one outstanding request at a time.
+
+    Attaches to hosts through :func:`~repro.obs.profiler.install_hook`
+    (CPU frame push/pop/consume) and to NICs by wrapping ``stage_tx`` /
+    ``frame_on_wire`` -- the exact observation points the span tracer
+    uses.  Between any two consecutive waypoints the elapsed integer
+    nanoseconds split deterministically:
+
+    * the trailing ``amount`` of the interval ending at an
+      ``on_consume`` -> ``cpu_service`` (kernel paths charge their cost
+      synchronously, then hold the CPU for it; the consume callback
+      marks the hold's end),
+    * the remainder: a received frame waiting for its interrupt ->
+      ``nic_ring``,
+    * else a transmitted frame still unreceived -> ``propagation`` up to
+      ``propagation_bound_us`` past the last transmit, ``stall`` beyond
+      (the frame was lost; the wire cannot still be carrying it),
+    * else -> ``stall`` (retransmit timers, CPU-queue waits).
+
+    Single-outstanding by design: the tracker's state is global across
+    the attached hosts, so it serves closed-loop probes (Figure 5 style
+    ping-pong, sequential object fetches), not concurrent open-loop
+    floods -- those get percentiles from :class:`RequestLifecycle` and
+    no decomposition.
+    """
+
+    def __init__(self, engine, propagation_bound_us: float = 5000.0):
+        if propagation_bound_us <= 0:
+            raise ValueError("propagation_bound_us must be positive")
+        self.engine = engine
+        self.propagation_bound_us = float(propagation_bound_us)
+        self._bound_ns = round(self.propagation_bound_us * 1000.0)
+        self._hooks: List[CpuHook] = []
+        self._wrapped: List[tuple] = []
+        self._in_flight = 0
+        self._in_ring = False
+        self._last_tx_ns: Optional[int] = None
+        self._request: Optional[Request] = None
+        self._last_ns = 0
+
+    # -- attachment (the SpanTracer pattern) -----------------------------
+
+    def attach(self, hosts, nics=()) -> "SloTracker":
+        for host in hosts:
+            hook = install_hook(host.cpu, host.name)
+            hook.listeners.append(self)
+            self._hooks.append(hook)
+        for nic in nics:
+            self._tap_nic(nic)
+        return self
+
+    def detach(self) -> None:
+        for hook in self._hooks:
+            hook.listeners.remove(self)
+            uninstall_hook(hook.cpu)
+        self._hooks = []
+        for nic, original_stage, original_rx in self._wrapped:
+            nic.stage_tx = original_stage
+            nic.frame_on_wire = original_rx
+        self._wrapped = []
+
+    def _tap_nic(self, nic) -> None:
+        tracker = self
+        original_stage = nic.stage_tx
+        original_rx = nic.frame_on_wire
+
+        def tracked_stage(data, dst_addr):
+            tracker._on_tx()
+            return original_stage(data, dst_addr)
+
+        def tracked_rx(frame):
+            tracker._on_rx()
+            return original_rx(frame)
+
+        nic.stage_tx = tracked_stage
+        nic.frame_on_wire = tracked_rx
+        self._wrapped.append((nic, original_stage, original_rx))
+
+    # -- lifecycle interface ---------------------------------------------
+
+    def open_request(self, request: Request) -> None:
+        if self._request is not None:
+            raise RuntimeError(
+                "SloTracker decomposes one outstanding request at a time "
+                "(%r is still open)" % (self._request,)
+            )
+        # Wire state is reset at begin -- anything still in flight
+        # belongs to a previous, lost exchange.
+        self._in_flight = 0
+        self._in_ring = False
+        self._last_tx_ns = None
+        request.components = {name: 0 for name in ATTRIBUTED_COMPONENTS}
+        self._request = request
+        self._last_ns = request.begin_ns
+
+    def close_request(self, request: Request) -> None:
+        if self._request is not request:
+            raise ValueError("closing %r but %r is open" % (request, self._request))
+        self._advance(request.end_ns)
+        self._request = None
+
+    # -- the state machine -----------------------------------------------
+
+    def _advance(self, now_ns: int, cpu_tail_ns: int = 0) -> None:
+        """Attribute [last waypoint, now), then move the waypoint.
+
+        ``cpu_tail_ns`` is the CPU hold that just ended (an
+        ``on_consume``): that many trailing nanoseconds -- clamped to the
+        interval, the two roundings can disagree by one -- are
+        ``cpu_service``; the rest goes to the prevailing wire state.
+        """
+        request = self._request
+        if request is None:
+            return
+        elapsed = now_ns - self._last_ns
+        if elapsed <= 0:
+            return
+        components = request.components
+        cpu = min(cpu_tail_ns, elapsed)
+        rest = elapsed - cpu
+        if rest > 0:
+            rest_end = self._last_ns + rest
+            if self._in_ring:
+                components["nic_ring"] += rest
+            elif self._in_flight > 0 and self._last_tx_ns is not None:
+                horizon = self._last_tx_ns + self._bound_ns
+                wire = min(rest_end, horizon) - self._last_ns
+                if wire < 0:
+                    wire = 0
+                components["propagation"] += wire
+                components["stall"] += rest - wire
+            else:
+                components["stall"] += rest
+        if cpu > 0:
+            components["cpu_service"] += cpu
+        self._last_ns = now_ns
+
+    def _waypoint(self) -> None:
+        if self._request is not None:
+            self._advance(to_ns(self.engine.now))
+
+    # -- listener interface (CpuHook) ------------------------------------
+
+    def on_push(self, hook: CpuHook, label: str) -> None:
+        self._waypoint()
+        self._in_ring = False
+
+    def on_pop(self, hook: CpuHook, label: str) -> None:
+        self._waypoint()
+
+    def on_charge(self, hook: CpuHook, category: str, amount: float) -> None:
+        pass
+
+    def on_consume(self, hook: CpuHook, amount: float) -> None:
+        if self._request is not None:
+            self._advance(to_ns(self.engine.now), round(amount * 1000.0))
+
+    # -- NIC taps ---------------------------------------------------------
+
+    def _on_tx(self) -> None:
+        self._waypoint()
+        self._in_flight += 1
+        self._last_tx_ns = to_ns(self.engine.now)
+
+    def _on_rx(self) -> None:
+        self._waypoint()
+        if self._in_flight > 0:
+            self._in_flight -= 1
+        self._in_ring = True

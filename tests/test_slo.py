@@ -1,0 +1,423 @@
+"""SLO layer: shared percentiles, request lifecycles, the queueing-delay
+decomposition, and the BENCH_latency gate semantics."""
+
+import os
+import types
+from bisect import bisect_right
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.stats import summarize
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.schema import undocumented_metrics
+from repro.obs.slo import (ATTRIBUTED_COMPONENTS, LATENCY_BOUNDS_US,
+                           RequestLifecycle, SloTracker, percentile, to_ns)
+from repro.sim import Engine
+
+
+def _advance(engine, us):
+    """Move simulated time forward by ``us`` microseconds."""
+    def proc():
+        yield engine.pooled_timeout(us)
+    engine.run_process(proc(), name="advance")
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [10, 20, 30, 40]
+        assert percentile(samples, 0.25) == 10
+        assert percentile(samples, 0.5) == 20
+        assert percentile(samples, 0.75) == 30
+        assert percentile(samples, 0.99) == 40
+        assert percentile(samples, 1.0) == 40
+        assert percentile([7], 0.999) == 7
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 0.0)
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+    def test_to_ns_is_profiler_quantization(self):
+        assert to_ns(1.0) == 1000
+        assert to_ns(0.0004) == 0
+        assert to_ns(0.0006) == 1
+        assert to_ns(575.4321) == 575432
+
+    def test_summary_shares_the_rank_rule(self):
+        samples = [5.0, 1.0, 9.0, 3.0, 3.0, 7.0]
+        summary = summarize(samples)
+        ordered = sorted(samples)
+        assert summary.p50 == percentile(ordered, 0.50)
+        assert summary.p99 == percentile(ordered, 0.99)
+        assert summary.p999 == percentile(ordered, 0.999)
+
+    def test_histogram_resolves_the_same_rank_to_its_bucket(self):
+        hist = Histogram("t", LATENCY_BOUNDS_US)
+        samples = [60.0, 120.0, 120.0, 900.0, 5000.0]
+        for sample in samples:
+            hist.observe(sample)
+        for q in (0.5, 0.9, 0.99, 1.0):
+            raw = percentile(sorted(samples), q)
+            index = bisect_right(hist.bounds, raw)
+            expected = (hist.bounds[index] if index < len(hist.bounds)
+                        else float("inf"))
+            assert hist.percentile(q) == expected
+
+
+class TestRequestLifecycle:
+    def test_double_end_raises(self):
+        lifecycle = RequestLifecycle(Engine())
+        request = lifecycle.begin("k")
+        lifecycle.end(request)
+        with pytest.raises(ValueError):
+            lifecycle.end(request)
+
+    def test_unattributed_without_tracker(self):
+        engine = Engine()
+        lifecycle = RequestLifecycle(engine)
+        request = lifecycle.begin("k")
+        _advance(engine, 123.456)
+        lifecycle.end(request)
+        assert request.total_ns == to_ns(123.456)
+        assert request.components == {"unattributed": request.total_ns}
+        assert request.component_sum_ns() == request.total_ns
+        # And the float latency is the historical arithmetic.
+        assert request.latency_us == request.end_us - request.begin_us
+
+    def test_percentiles_ns_record(self):
+        engine = Engine()
+        lifecycle = RequestLifecycle(engine)
+        for latency_us in (100.0, 300.0, 200.0):
+            request = lifecycle.begin("k")
+            _advance(engine, latency_us)
+            lifecycle.end(request)
+        record = lifecycle.percentiles_ns("k")
+        assert record == {"n": 3, "p50_ns": 200000, "p99_ns": 300000,
+                          "p999_ns": 300000, "max_ns": 300000,
+                          "sum_ns": 600000}
+        assert lifecycle.open_requests == 0
+
+    def test_register_metrics_backfills_and_observes_live(self):
+        engine = Engine()
+        lifecycle = RequestLifecycle(engine)
+        for latency_us in (100.0, 300.0):
+            request = lifecycle.begin("k")
+            _advance(engine, latency_us)
+            lifecycle.end(request)
+        registry = MetricsRegistry()
+        lifecycle.register_metrics(registry)
+        histogram = registry.get("slo.latency.us")
+        assert histogram.count == 2  # back-filled from completed samples
+        request = lifecycle.begin("k")
+        _advance(engine, 50.0)
+        lifecycle.end(request)
+        assert histogram.count == 3  # live ends observe directly
+        snapshot = registry.snapshot()
+        assert "slo.latency.p99_ns" in snapshot
+        assert "slo.component.cpu_service_ns" in snapshot
+        # Every slo.* metric the lifecycle registers is documented.
+        assert undocumented_metrics(registry) == []
+
+
+class TestFigure5BitIdentity:
+    def test_lifecycle_samples_match_inline_collection(self):
+        """Figure 5 through the lifecycle is bit-identical to the
+        historical hand-kept ``samples.append(engine.now - start)``."""
+        from repro.bench.latency import measure_plexus_udp_rtt
+        trips = 6
+        summary = measure_plexus_udp_rtt("ethernet", trips=trips)
+        assert summary.samples == self._inline_collection("ethernet", trips)
+        assert summary.n == trips
+
+    @staticmethod
+    def _inline_collection(device, trips):
+        from repro.bench.testbed import build_testbed
+        from repro.core.manager import Credential
+        from repro.lang.ephemeral import ephemeral
+        from repro.sim import Signal
+
+        bed = build_testbed("spin", device, deliver_mode="interrupt")
+        engine = bed.engine
+        client_stack, server_stack = bed.stacks
+        client_host = bed.hosts[0]
+        reply_seen = Signal(engine)
+        server_ep = None
+
+        @ephemeral
+        def server_handler(m, off, src_ip, src_port, dst_ip, dst_port):
+            payload = bytes(m.to_bytes()[off:])
+            server_ep.send(payload, src_ip, src_port)
+
+        @ephemeral
+        def client_handler(m, off, src_ip, src_port, dst_ip, dst_port):
+            client_host.defer(reply_seen.fire)
+
+        server_ep = server_stack.udp_manager.bind(
+            Credential("pong"), 7002, server_handler, mode="inline")
+        client_ep = client_stack.udp_manager.bind(
+            Credential("ping"), 7001, client_handler, mode="inline")
+        samples = []
+        payload = bytes(8)
+
+        def ping_loop():
+            for _ in range(trips):
+                start = engine.now
+                waiter = reply_seen.wait()
+                yield from client_host.kernel_path(
+                    lambda: client_ep.send(payload, bed.ip(1), 7002))
+                yield waiter
+                samples.append(engine.now - start)
+
+        engine.run_process(ping_loop(), name="ping")
+        return samples
+
+
+def _with_mode(overrides, fn):
+    saved = {key: os.environ.get(key) for key in overrides}
+    os.environ.update(overrides)
+    try:
+        return fn()
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+class TestDecomposition:
+    def test_udp_probe_reconciles_on_every_flow_cache_rung(self):
+        from repro.bench.slo import run_probe
+        from repro.bench.wallclock import _MODE_ENV
+        results = {mode: _with_mode(overrides,
+                                    lambda: run_probe("udp_clean"))
+                   for mode, overrides in _MODE_ENV.items()}
+        for mode, record in results.items():
+            assert record["reconciled"], (mode, record["errors"])
+            assert record["percentiles"]["completed"] == 10
+        assert (results["current"] == results["prechange"]
+                == results["uncached"])
+        parts = results["current"]["components_ns"]
+        assert all(value >= 0 for value in parts.values())
+        # The paper's claim in decomposition form: the in-kernel RTT is
+        # mostly protocol CPU, with a real but smaller wire share.
+        assert parts["cpu_service"] > parts["propagation"] > 0
+
+    def test_bursty_loss_raises_p999_and_books_stall(self):
+        from repro.bench.slo import run_probe
+        clean = run_probe("tcp_clean")
+        impaired = run_probe("tcp_impaired")
+        assert clean["reconciled"], clean["errors"]
+        assert impaired["reconciled"], impaired["errors"]
+        assert (impaired["percentiles"]["p999_ns"]
+                > clean["percentiles"]["p999_ns"])
+        assert (impaired["components_ns"]["stall"]
+                > clean["components_ns"]["stall"])
+
+
+_IMPAIRMENTS = st.fixed_dictionaries({
+    "loss_good": st.floats(0.0, 0.03),
+    "loss_bad": st.floats(0.1, 0.5),
+    "p_good_bad": st.floats(0.01, 0.1),
+    "p_bad_good": st.floats(0.1, 0.5),
+    "jitter_us": st.floats(0.0, 200.0),
+})
+
+
+class TestReconciliationProperty:
+    @settings(max_examples=5, deadline=None)
+    @given(wire_seed=st.integers(0, 2 ** 16),
+           schedule_seed=st.integers(0, 2 ** 16),
+           config_kwargs=_IMPAIRMENTS)
+    def test_components_nonnegative_and_telescoping(self, wire_seed,
+                                                    schedule_seed,
+                                                    config_kwargs):
+        lifecycle = self._impaired_run(config_kwargs, wire_seed,
+                                       schedule_seed)
+        for request in lifecycle.completed:
+            assert set(request.components) == set(ATTRIBUTED_COMPONENTS)
+            assert all(value >= 0
+                       for value in request.components.values()), request
+            assert request.component_sum_ns() == request.total_ns, request
+
+    @staticmethod
+    def _impaired_run(config_kwargs, wire_seed, schedule_seed, trips=4):
+        from repro.bench.testbed import build_testbed
+        from repro.fabric.traffic import OpenLoopSource
+        from repro.hw.link import ImpairmentConfig
+
+        bed = build_testbed("unix", "atm", deliver_mode="interrupt")
+        engine = bed.engine
+        client_sockets, server_sockets = bed.sockets
+        config = ImpairmentConfig(**config_kwargs)
+        for medium in bed.media():
+            medium.set_impairments(config, seed=wire_seed)
+        tracker = SloTracker(engine).attach(bed.hosts, bed.nics)
+        lifecycle = RequestLifecycle(engine, tracker)
+        source = OpenLoopSource(seed=schedule_seed, arrival="poisson",
+                                mean_gap_us=2000.0, size_dist="fixed",
+                                fixed_size=64, min_size=32, max_size=1400)
+        gaps = [gap for gap, _size in source.schedule(trips)]
+        obj = bytes(1024)
+
+        def server():
+            listener = server_sockets.tcp_socket()
+            yield from listener.listen(9090, backlog=trips)
+            while True:
+                child = yield from listener.accept()
+                yield from child.send(obj)
+                yield from child.close()
+
+        def client():
+            for seq, gap in enumerate(gaps):
+                yield engine.pooled_timeout(gap)
+                request = lifecycle.begin("probe", seq)
+                sock = client_sockets.tcp_socket()
+                yield from sock.connect((bed.ip(1), 9090))
+                while True:
+                    data = yield from sock.recv()
+                    if not data:
+                        break
+                yield from sock.close()
+                lifecycle.end(request)
+
+        engine.process(server(), name="prop-server")
+        engine.process(client(), name="prop-client")
+        engine.run(until=20_000_000.0)
+        tracker.detach()
+        return lifecycle
+
+
+def _fingerprint_side(p50=100, p99=200, p999=300):
+    return {"n": 10, "p50_ns": p50, "p99_ns": p99, "p999_ns": p999,
+            "max_ns": p999, "sum_ns": 1500, "requested": 10,
+            "completed": 10, "still_open": 0}
+
+
+def _tiny_report():
+    parts = {"cpu_service": 900, "nic_ring": 100, "propagation": 400,
+             "stall": 100, "unattributed": 0}
+    return {
+        "quick": True,
+        "host": {"machine": "x"},
+        "legs": {"udp_echo@g400": {
+            "workload": "udp_echo", "mean_gap_us": 400.0,
+            "open": _fingerprint_side(), "closed": _fingerprint_side(),
+            "tail_gap_p99_ns": 0, "wall_s": 1.0,
+        }},
+        "decomposition": {"udp_clean": {
+            "percentiles": _fingerprint_side(),
+            "components_ns": parts, "reconciled": True, "errors": [],
+        }},
+        "rungs": {"leg": "udp_echo@g400",
+                  "fingerprints": {"current": _fingerprint_side(),
+                                   "prechange": _fingerprint_side(),
+                                   "uncached": _fingerprint_side()},
+                  "ok": True},
+    }
+
+
+class TestLatencyGate:
+    def test_matching_baseline_is_clean(self):
+        from repro.bench.slo import baseline_from_report, compare_to_baseline
+        report = _tiny_report()
+        baseline = baseline_from_report(report, None)
+        rows = compare_to_baseline(report, baseline, slowdown_warn=0.2)
+        assert all(row["ok"] for row in rows.values())
+        assert not any(row["errors"] for row in rows.values())
+
+    def test_percentile_drift_is_an_error(self):
+        """A seeded 20% p99 drift must fail the gate, not warn."""
+        from repro.bench.slo import baseline_from_report, compare_to_baseline
+        report = _tiny_report()
+        baseline = baseline_from_report(report, None)
+        drifted = baseline["quick"]["legs"]["udp_echo@g400"]["open"]
+        drifted["p99_ns"] = int(drifted["p99_ns"] * 1.2)
+        rows = compare_to_baseline(report, baseline, slowdown_warn=0.2)
+        row = rows["udp_echo@g400"]
+        assert not row["ok"]
+        assert any("fingerprint drifted" in error for error in row["errors"])
+
+    def test_missing_baseline_only_warns(self):
+        from repro.bench.slo import compare_to_baseline
+        rows = compare_to_baseline(_tiny_report(), {}, slowdown_warn=0.2)
+        assert all(row["ok"] for row in rows.values())
+        assert rows["udp_echo@g400"]["warnings"]
+
+    def test_wall_clock_slowdown_only_warns(self):
+        from repro.bench.slo import baseline_from_report, compare_to_baseline
+        report = _tiny_report()
+        baseline = baseline_from_report(report, None)
+        baseline["quick"]["legs"]["udp_echo@g400"]["wall_s"] = 0.1
+        rows = compare_to_baseline(report, baseline, slowdown_warn=0.2)
+        row = rows["udp_echo@g400"]
+        assert row["ok"]
+        assert any("wall time" in warning for warning in row["warnings"])
+
+    def test_unreconciled_probe_is_an_error(self):
+        from repro.bench.slo import compare_to_baseline
+        report = _tiny_report()
+        probe = report["decomposition"]["udp_clean"]
+        probe["reconciled"] = False
+        probe["errors"] = ["request r0 does not reconcile"]
+        rows = compare_to_baseline(report, {}, slowdown_warn=0.2)
+        assert not rows["decomposition:udp_clean"]["ok"]
+
+    def test_rung_divergence_is_an_error(self):
+        from repro.bench.slo import compare_to_baseline
+        report = _tiny_report()
+        report["rungs"]["ok"] = False
+        rows = compare_to_baseline(report, {}, slowdown_warn=0.2)
+        assert not rows["rungs"]["ok"]
+
+
+class TestHarnessDeterminism:
+    def test_leg_schedule_is_a_pure_function_of_the_name(self):
+        from repro.bench.slo import _schedule
+        assert _schedule("udp_echo@g400", 20) == _schedule("udp_echo@g400", 20)
+        assert len(_schedule("udp_echo@g400", 20)) == 20
+
+    def test_leg_rerun_and_jobs2_are_bit_identical(self):
+        from repro.bench.runner import _map_tasks
+        from repro.bench.slo import _latency_task
+
+        def strip(results):
+            cleaned = []
+            for record in results:
+                record = dict(record)
+                record.pop("wall_s", None)
+                cleaned.append(record)
+            return cleaned
+
+        payloads = [("leg", "udp_echo@g2000", True),
+                    ("probe", "udp_clean", True)]
+        serial = strip(_map_tasks(_latency_task, payloads, 1))
+        rerun = strip(_map_tasks(_latency_task, payloads, 1))
+        sharded = strip(_map_tasks(_latency_task, payloads, 2))
+        assert serial == rerun == sharded
+
+
+class TestChaosSloInvariant:
+    def test_reconciliation_invariant(self):
+        from repro.chaos.invariants import INVARIANTS
+        check = INVARIANTS["slo_reconciliation"]
+        engine = Engine()
+        lifecycle = RequestLifecycle(engine)
+        request = lifecycle.begin("k")
+        _advance(engine, 42.0)
+        lifecycle.end(request)
+        ctx = types.SimpleNamespace(
+            state=types.SimpleNamespace(lifecycle=lifecycle))
+        assert check(ctx) == []
+        request.components["unattributed"] += 1  # corrupt the account
+        assert check(ctx)
+
+    def test_stateless_workloads_trivially_pass(self):
+        from repro.chaos.invariants import INVARIANTS
+        check = INVARIANTS["slo_reconciliation"]
+        ctx = types.SimpleNamespace(state=types.SimpleNamespace())
+        assert check(ctx) == []
